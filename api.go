@@ -1,0 +1,136 @@
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/coflow"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/timegrid"
+	"repro/internal/workload"
+)
+
+// Re-exported problem types.
+type (
+	// Instance is a coflow scheduling problem: a capacitated network
+	// plus weighted coflows.
+	Instance = coflow.Instance
+	// Coflow is a weighted group of flows sharing a completion time.
+	Coflow = coflow.Coflow
+	// Flow is a single transfer demand.
+	Flow = coflow.Flow
+	// Graph is a directed capacitated network.
+	Graph = graph.Graph
+	// NodeID identifies a graph node.
+	NodeID = graph.NodeID
+	// EdgeID identifies a directed edge.
+	EdgeID = graph.EdgeID
+	// TransmissionModel selects single path or free path routing.
+	TransmissionModel = coflow.Model
+	// Result is a full pipeline outcome (LP bound, heuristic, Stretch).
+	Result = core.Result
+	// Evaluated is a verified schedule with its metrics.
+	Evaluated = core.Evaluated
+	// WorkloadConfig parameterizes synthetic workload generation.
+	WorkloadConfig = workload.Config
+	// WorkloadKind selects one of the paper's four workloads.
+	WorkloadKind = workload.Kind
+)
+
+// Transmission models (Section 2 of the paper). MultiPath is the
+// intermediate model the paper sketches: a fixed candidate path set
+// per flow, used concurrently at scheduler-chosen rates.
+const (
+	SinglePath = coflow.SinglePath
+	FreePath   = coflow.FreePath
+	MultiPath  = coflow.MultiPath
+)
+
+// The paper's four evaluation workloads.
+const (
+	BigBench = workload.BigBench
+	TPCDS    = workload.TPCDS
+	TPCH     = workload.TPCH
+	FB       = workload.FB
+)
+
+// NewGraph returns an empty network.
+func NewGraph() *Graph { return graph.New() }
+
+// NewSWAN returns Microsoft's SWAN inter-datacenter WAN (5 DCs, 7
+// links) with the given per-link capacity.
+func NewSWAN(capacity float64) *Graph { return graph.SWAN(capacity) }
+
+// NewGScale returns Google's G-Scale/B4 WAN (12 DCs, 19 links) with
+// the given per-link capacity.
+func NewGScale(capacity float64) *Graph { return graph.GScale(capacity) }
+
+// GenerateWorkload builds a reproducible synthetic instance standing
+// in for the paper's BigBench/TPC-DS/TPC-H/FB workloads.
+func GenerateWorkload(cfg WorkloadConfig) (*Instance, error) {
+	return workload.Generate(cfg)
+}
+
+// SchedOptions tune the scheduling pipeline. The zero value uses
+// sensible defaults: an automatically sized uniform grid capped at
+// MaxSlots (default 48) and 20 Stretch samples.
+type SchedOptions struct {
+	// MaxSlots caps the uniform time grid (0 = 48).
+	MaxSlots int
+	// Trials is the number of randomized Stretch roundings (0 = 20;
+	// negative disables Stretch and keeps only the λ=1 heuristic).
+	Trials int
+	// Seed drives the λ sampling.
+	Seed int64
+	// DisableCompaction turns off the Section 6.1 idle-slot pass.
+	DisableCompaction bool
+}
+
+func (o SchedOptions) normalize() SchedOptions {
+	if o.MaxSlots == 0 {
+		o.MaxSlots = 48
+	}
+	if o.Trials == 0 {
+		o.Trials = 20
+	}
+	if o.Trials < 0 {
+		o.Trials = 0
+	}
+	return o
+}
+
+// ScheduleSinglePath runs the full pipeline in the single path model:
+// every flow must carry a fixed Path (see
+// Instance.AssignRandomShortestPaths).
+func ScheduleSinglePath(inst *Instance, opt SchedOptions) (*Result, error) {
+	return run(inst, coflow.SinglePath, opt)
+}
+
+// ScheduleFreePath runs the full pipeline in the free path model.
+func ScheduleFreePath(inst *Instance, opt SchedOptions) (*Result, error) {
+	return run(inst, coflow.FreePath, opt)
+}
+
+// ScheduleMultiPath runs the full pipeline in the intermediate
+// multi path model: every flow must carry a candidate path set (see
+// Instance.AssignKShortestPaths).
+func ScheduleMultiPath(inst *Instance, opt SchedOptions) (*Result, error) {
+	return run(inst, coflow.MultiPath, opt)
+}
+
+func run(inst *Instance, mode coflow.Model, opt SchedOptions) (*Result, error) {
+	opt = opt.normalize()
+	grid := core.DefaultGrid(inst, mode, opt.MaxSlots)
+	var rng *rand.Rand
+	if opt.Trials > 0 {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
+	return core.Run(inst, mode, opt.Trials, rng, core.Options{
+		Grid:              grid,
+		DisableCompaction: opt.DisableCompaction,
+	})
+}
+
+// UniformGrid exposes grid construction for callers that size the time
+// expansion themselves.
+func UniformGrid(slots int) timegrid.Grid { return timegrid.Uniform(slots) }

@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"testing"
+)
+
+func smallInstance(t *testing.T, paths bool) *Instance {
+	t.Helper()
+	in, err := GenerateWorkload(WorkloadConfig{
+		Kind: TPCH, Graph: NewSWAN(1), NumCoflows: 3, Seed: 11,
+		MeanInterarrival: 1, AssignPaths: paths,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestScheduleFreePathFacade(t *testing.T) {
+	in := smallInstance(t, false)
+	res, err := ScheduleFreePath(in, SchedOptions{MaxSlots: 24, Trials: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Heuristic.Weighted < res.LowerBound-1e-6 {
+		t.Fatalf("heuristic %v below bound %v", res.Heuristic.Weighted, res.LowerBound)
+	}
+	if res.Stretch == nil || len(res.Stretch.Samples) != 3 {
+		t.Fatalf("stretch stats missing or wrong size: %+v", res.Stretch)
+	}
+}
+
+func TestScheduleSinglePathFacade(t *testing.T) {
+	in := smallInstance(t, true)
+	res, err := ScheduleSinglePath(in, SchedOptions{MaxSlots: 24, Trials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stretch != nil {
+		t.Fatal("negative Trials should disable stretch")
+	}
+	if err := res.Heuristic.Schedule.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	if NewSWAN(2).NumNodes() != 5 || NewGScale(2).NumNodes() != 12 {
+		t.Fatal("topology constructors wrong")
+	}
+	g := NewGraph()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(a, b, 1)
+	if g.NumEdges() != 1 {
+		t.Fatal("NewGraph broken")
+	}
+	if UniformGrid(5).NumSlots() != 5 {
+		t.Fatal("UniformGrid broken")
+	}
+}
+
+func TestFacadeModelsDiffer(t *testing.T) {
+	// Free path LP bound ≤ single path LP bound on the same instance.
+	in := smallInstance(t, true)
+	sp, err := ScheduleSinglePath(in, SchedOptions{MaxSlots: 24, Trials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := ScheduleFreePath(in, SchedOptions{MaxSlots: 24, Trials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.LowerBound > sp.LowerBound+1e-6 {
+		t.Fatalf("free path bound %v above single path %v", fp.LowerBound, sp.LowerBound)
+	}
+}
+
+func TestDeterministicPipeline(t *testing.T) {
+	in := smallInstance(t, false)
+	a, err := ScheduleFreePath(in, SchedOptions{MaxSlots: 24, Trials: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScheduleFreePath(in, SchedOptions{MaxSlots: 24, Trials: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LowerBound != b.LowerBound || a.Stretch.AvgWeighted != b.Stretch.AvgWeighted {
+		t.Fatal("pipeline is not deterministic for a fixed seed")
+	}
+}

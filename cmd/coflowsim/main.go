@@ -1,0 +1,253 @@
+// Command coflowsim is the experiment driver: it regenerates the
+// paper's figures, generates workload instances, and schedules single
+// instances with the Stretch pipeline.
+//
+// Usage:
+//
+//	coflowsim -figure 9                  # regenerate Figure 9 (text table)
+//	coflowsim -figure all -csv out/      # all figures, CSV per figure
+//	coflowsim -gen fb -coflows 20 -topology gscale -out inst.json
+//	coflowsim -run inst.json -model free -trials 20
+//
+// Scale flags (-coflows, -free-coflows, -slots, -trials, -seed) apply
+// to figure regeneration; defaults are laptop-sized (see
+// internal/experiments).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/coflow"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/workload"
+
+	repro "repro"
+)
+
+func main() {
+	var (
+		figure      = flag.String("figure", "", "figure to regenerate: 6..12 or 'all'")
+		csvDir      = flag.String("csv", "", "directory to write CSV outputs (with -figure)")
+		coflows     = flag.Int("coflows", 0, "single path coflow count (0 = default)")
+		freeCoflows = flag.Int("free-coflows", 0, "free path coflow count (0 = default)")
+		slots       = flag.Int("slots", 0, "uniform grid slot cap (0 = default)")
+		trials      = flag.Int("trials", 0, "λ samples per instance (0 = default 20)")
+		seed        = flag.Int64("seed", 0, "base random seed (0 = default)")
+		small       = flag.Bool("small", false, "use the quick test-scale configuration")
+		verbose     = flag.Bool("v", false, "log progress")
+
+		gen      = flag.String("gen", "", "generate a workload: bigbench|tpcds|tpch|fb")
+		topology = flag.String("topology", "swan", "topology for -gen: swan|gscale")
+		outFile  = flag.String("out", "", "output file for -gen (default stdout)")
+		paths    = flag.Bool("paths", true, "assign random shortest paths when generating")
+
+		runFile   = flag.String("run", "", "schedule an instance JSON file")
+		modelFlag = flag.String("model", "free", "transmission model for -run: single|free")
+		terra     = flag.Bool("terra", false, "also run the Terra baseline (-run, free path)")
+	)
+	flag.Parse()
+
+	switch {
+	case *figure != "":
+		cfg := experiments.Default()
+		if *small {
+			cfg = experiments.Small()
+		}
+		if *coflows > 0 {
+			cfg.SingleCoflows = *coflows
+		}
+		if *freeCoflows > 0 {
+			cfg.FreeCoflows = *freeCoflows
+		}
+		if *slots > 0 {
+			cfg.MaxSlots = *slots
+		}
+		if *trials > 0 {
+			cfg.Trials = *trials
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *verbose {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		if err := runFigures(*figure, cfg, *csvDir); err != nil {
+			fatal(err)
+		}
+	case *gen != "":
+		if err := generate(*gen, *topology, *coflows, *seed, *paths, *outFile); err != nil {
+			fatal(err)
+		}
+	case *runFile != "":
+		if err := runInstance(*runFile, *modelFlag, *trials, *seed, *slots, *terra); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coflowsim:", err)
+	os.Exit(1)
+}
+
+func runFigures(spec string, cfg experiments.Config, csvDir string) error {
+	var nums []int
+	if spec == "all" {
+		for n := range experiments.Figures {
+			nums = append(nums, n)
+		}
+		sort.Ints(nums)
+	} else {
+		n, err := strconv.Atoi(spec)
+		if err != nil || experiments.Figures[n] == nil {
+			return fmt.Errorf("unknown figure %q (have 6..12)", spec)
+		}
+		nums = []int{n}
+	}
+	for _, n := range nums {
+		res, err := experiments.Figures[n](cfg)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", n, err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(csvDir, fmt.Sprintf("figure%d.csv", n))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := res.RenderCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func parseKind(s string) (workload.Kind, error) {
+	switch strings.ToLower(s) {
+	case "bigbench":
+		return workload.BigBench, nil
+	case "tpcds", "tpc-ds":
+		return workload.TPCDS, nil
+	case "tpch", "tpc-h":
+		return workload.TPCH, nil
+	case "fb", "facebook":
+		return workload.FB, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q", s)
+	}
+}
+
+func parseTopology(s string) (*graph.Graph, error) {
+	switch strings.ToLower(s) {
+	case "swan":
+		return graph.SWAN(1), nil
+	case "gscale", "g-scale":
+		return graph.GScale(1), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", s)
+	}
+}
+
+func generate(kindStr, topoStr string, coflows int, seed int64, paths bool, out string) error {
+	kind, err := parseKind(kindStr)
+	if err != nil {
+		return err
+	}
+	g, err := parseTopology(topoStr)
+	if err != nil {
+		return err
+	}
+	if coflows <= 0 {
+		coflows = 10
+	}
+	in, err := workload.Generate(workload.Config{
+		Kind: kind, Graph: g, NumCoflows: coflows, Seed: seed,
+		MeanInterarrival: 1.5, AssignPaths: paths,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return in.WriteJSON(w)
+}
+
+func runInstance(path, modelStr string, trials int, seed int64, slots int, withTerra bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	in, err := coflow.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var mode coflow.Model
+	switch strings.ToLower(modelStr) {
+	case "single":
+		mode = coflow.SinglePath
+	case "free":
+		mode = coflow.FreePath
+	default:
+		return fmt.Errorf("unknown model %q (single|free)", modelStr)
+	}
+	opt := repro.SchedOptions{MaxSlots: slots, Trials: trials, Seed: seed}
+	var res *repro.Result
+	if mode == coflow.SinglePath {
+		res, err = repro.ScheduleSinglePath(in, opt)
+	} else {
+		res, err = repro.ScheduleFreePath(in, opt)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model:               %v\n", mode)
+	fmt.Printf("coflows:             %d (%d flows)\n", len(in.Coflows), in.NumFlows())
+	fmt.Printf("LP lower bound:      %.3f\n", res.LowerBound)
+	fmt.Printf("heuristic (λ=1.0):   %.3f\n", res.Heuristic.Weighted)
+	if res.Stretch != nil {
+		fmt.Printf("best λ:              %.3f (λ=%.3f)\n", res.Stretch.BestWeighted, res.Stretch.BestLambda)
+		fmt.Printf("average λ:           %.3f (%d samples)\n", res.Stretch.AvgWeighted, len(res.Stretch.Samples))
+	}
+	fmt.Printf("simplex iterations:  %d\n", res.Iterations)
+	if withTerra && mode == coflow.FreePath {
+		tr, err := baselines.Terra(in)
+		if err != nil {
+			return fmt.Errorf("terra: %w", err)
+		}
+		fmt.Printf("terra (total time):  %.3f (%d LP solves)\n", tr.Total, tr.LPSolves)
+	}
+	return nil
+}

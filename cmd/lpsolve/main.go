@@ -1,0 +1,85 @@
+// Command lpsolve solves a linear program written in the repository's
+// LP text format using the built-in sparse revised simplex — the same
+// engine that powers the coflow experiments. It exists to make the
+// solver substrate independently usable and debuggable.
+//
+// Usage:
+//
+//	lpsolve model.lp          # solve a file
+//	lpsolve -                 # read from stdin
+//	lpsolve -duals model.lp   # also print row duals
+//
+// Format example:
+//
+//	min: 2 x + 3 y;
+//	c1: x + y >= 4;
+//	0 <= x <= 10;
+//	free y;
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lp"
+	"repro/internal/simplex"
+)
+
+func main() {
+	duals := flag.Bool("duals", false, "print constraint duals and reduced costs")
+	maxIter := flag.Int("maxiter", 0, "iteration limit (0 = automatic)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lpsolve [-duals] <file.lp | ->")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	m, err := lp.ParseLP(r)
+	if err != nil {
+		fatal(err)
+	}
+	sol, err := m.Solve(simplex.Options{MaxIter: *maxIter})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("status:     %v\n", sol.Status)
+	if sol.Status != simplex.Optimal {
+		os.Exit(1)
+	}
+	fmt.Printf("objective:  %.10g\n", sol.Obj)
+	fmt.Printf("iterations: %d\n", sol.Iterations())
+	fmt.Println("solution:")
+	for j := 0; j < m.NumVars(); j++ {
+		v := lp.VarID(j)
+		fmt.Printf("  %-16s %.10g\n", m.VarName(v), sol.Value(v))
+	}
+	if *duals {
+		fmt.Println("duals:")
+		for i := 0; i < m.NumConstrs(); i++ {
+			c := lp.ConstrID(i)
+			fmt.Printf("  %-16s %.10g\n", m.ConstrName(c), sol.Dual(c))
+		}
+		fmt.Println("reduced costs:")
+		for j := 0; j < m.NumVars(); j++ {
+			v := lp.VarID(j)
+			fmt.Printf("  %-16s %.10g\n", m.VarName(v), sol.ReducedCost(v))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpsolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go implementation of "Near Optimal
+// Coflow Scheduling in Networks" (Chowdhury, Khuller, Purohit, Yang,
+// You — SPAA 2019): the randomized 2-approximation "Stretch" algorithm
+// for scheduling coflows over general network topologies, in both the
+// single path and the free path transmission models, together with
+// everything needed to reproduce the paper's evaluation — a sparse
+// revised-simplex LP solver (the Gurobi substitute), the SWAN and
+// G-Scale WAN topologies, synthetic BigBench/TPC-DS/TPC-H/Facebook
+// workloads, and the Jahanjou et al. and Terra baselines.
+//
+// This root package is a thin facade over the internal packages; see
+// README.md for the architecture and cmd/coflowsim for the experiment
+// driver that regenerates every figure of the paper.
+//
+//	inst, _ := repro.GenerateWorkload(repro.WorkloadConfig{
+//	    Kind: repro.FB, Graph: repro.NewSWAN(1), NumCoflows: 10, Seed: 1,
+//	})
+//	res, _ := repro.ScheduleFreePath(inst, repro.SchedOptions{})
+//	fmt.Println(res.LowerBound, res.Heuristic.Weighted)
+package repro

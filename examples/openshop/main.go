@@ -1,0 +1,53 @@
+// Open shop example: the Section 5 hardness reduction, run forwards.
+// A concurrent open shop instance is reduced to a coflow instance on
+// the gadget graph (one isolated unit-bandwidth edge per machine),
+// scheduled with the paper's LP pipeline, and mapped back to a
+// non-preemptive open shop schedule — which is then compared with the
+// exact optimum and the Smith-ratio heuristic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+
+	"repro/internal/openshop"
+)
+
+func main() {
+	in := &openshop.Instance{
+		Machines: 3,
+		Jobs: []openshop.Job{
+			{ID: 0, Weight: 3, Proc: []float64{2, 0, 1}},
+			{ID: 1, Weight: 1, Proc: []float64{0, 4, 2}},
+			{ID: 2, Weight: 2, Proc: []float64{1, 1, 0}},
+			{ID: 3, Weight: 1, Proc: []float64{3, 0, 3}},
+			{ID: 4, Weight: 2, Proc: []float64{0, 2, 2}},
+		},
+	}
+	opt, perm := in.BruteForce()
+	smith, _ := in.SmithList()
+
+	ci, err := in.ToCoflow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.ScheduleSinglePath(ci, repro.SchedOptions{MaxSlots: 32, Trials: 20, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := in.FromCoflowSchedule(res.Heuristic.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Concurrent open shop via the Section 5 coflow reduction")
+	fmt.Printf("  machines=%d jobs=%d\n\n", in.Machines, len(in.Jobs))
+	fmt.Printf("  exact optimum (brute force):      %.1f  (order %v)\n", opt, perm)
+	fmt.Printf("  Smith-ratio list heuristic:       %.1f\n", smith)
+	fmt.Printf("  coflow LP lower bound:            %.3f\n", res.LowerBound)
+	fmt.Printf("  coflow heuristic (λ=1.0):         %.1f\n", res.Heuristic.Weighted)
+	fmt.Printf("  mapped back to open shop:         %.1f\n", mapped)
+	fmt.Printf("  empirical approximation factor:   %.3f  (theory: ≤ 2)\n", mapped/opt)
+}

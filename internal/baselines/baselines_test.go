@@ -1,0 +1,263 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/coflow"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/timegrid"
+)
+
+// figure2SP is the Section 2 running example with Figure 3 paths.
+func figure2SP() *coflow.Instance {
+	g := graph.Figure2()
+	s, tt := g.MustNode("s"), g.MustNode("t")
+	direct := func(from, to graph.NodeID) []graph.EdgeID {
+		for _, eid := range g.OutEdges(from) {
+			if g.Edge(eid).To == to {
+				return []graph.EdgeID{eid}
+			}
+		}
+		panic("no direct edge")
+	}
+	v := []graph.NodeID{g.MustNode("v1"), g.MustNode("v2"), g.MustNode("v3")}
+	in := &coflow.Instance{Graph: g}
+	for i := 0; i < 3; i++ {
+		in.Coflows = append(in.Coflows, coflow.Coflow{ID: i, Weight: 1,
+			Flows: []coflow.Flow{{Source: v[i], Sink: tt, Demand: 1, Path: direct(v[i], tt)}}})
+	}
+	in.Coflows = append(in.Coflows, coflow.Coflow{ID: 3, Weight: 1,
+		Flows: []coflow.Flow{{Source: s, Sink: tt, Demand: 3,
+			Path: append(direct(s, v[1]), direct(v[1], tt)...)}}})
+	return in
+}
+
+func figure2FP() *coflow.Instance {
+	in := figure2SP()
+	for ci := range in.Coflows {
+		in.Coflows[ci].Flows[0].Path = nil
+	}
+	return in
+}
+
+func TestPriorityFillProducesFeasibleSchedule(t *testing.T) {
+	in := figure2SP()
+	s, err := PriorityFill(in, []int{0, 1, 2, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Small coflows first: they finish in slot 1; blue then needs 3
+	// more slots on the shared edge → completion 4. Objective 1+1+1+4=7.
+	if obj := s.WeightedCompletion(); math.Abs(obj-7) > 1e-9 {
+		t.Fatalf("objective %v, want 7", obj)
+	}
+}
+
+func TestPriorityFillReverseOrderWorse(t *testing.T) {
+	in := figure2SP()
+	s, err := PriorityFill(in, []int{3, 2, 1, 0}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Blue first: finishes at 3; green is locked out of the shared edge
+	// until slot 4 → objective 3+1+1+4 = 9.
+	if obj := s.WeightedCompletion(); math.Abs(obj-9) > 1e-9 {
+		t.Fatalf("objective %v, want 9", obj)
+	}
+}
+
+func TestPriorityFillHorizonTooSmall(t *testing.T) {
+	in := figure2SP()
+	if _, err := PriorityFill(in, []int{0, 1, 2, 3}, 2); err == nil {
+		t.Fatal("expected horizon error")
+	}
+}
+
+func TestPriorityFillRespectsRelease(t *testing.T) {
+	in := figure2SP()
+	in.Coflows[0].Release = 3
+	s, err := PriorityFill(in, []int{0, 1, 2, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if ct := s.CompletionTimes(); ct[0] < 4-1e-9 {
+		t.Fatalf("released-at-3 coflow finished at %v", ct[0])
+	}
+}
+
+func TestGreedyWSJF(t *testing.T) {
+	in := figure2SP()
+	s, err := GreedyWSJF(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Smith ratios: small coflows 1/1=1, blue 3/1=3 → small first → 7.
+	if obj := s.WeightedCompletion(); math.Abs(obj-7) > 1e-9 {
+		t.Fatalf("objective %v, want 7", obj)
+	}
+}
+
+func TestJahanjouOnFigure2(t *testing.T) {
+	in := figure2SP()
+	res, err := Jahanjou(in, 8, JahanjouEpsilon, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The baseline is feasible, so it cannot beat the integral optimum.
+	if res.Weighted < 7-1e-9 {
+		t.Fatalf("Jahanjou objective %v beats optimum 7", res.Weighted)
+	}
+	// And its interval LP is a valid lower bound.
+	if res.LowerBound > 7+1e-6 {
+		t.Fatalf("interval LP %v above optimum 7", res.LowerBound)
+	}
+	if len(res.Order) != 4 {
+		t.Fatalf("order has %d entries", len(res.Order))
+	}
+}
+
+func TestJahanjouAlphaValidation(t *testing.T) {
+	in := figure2SP()
+	if _, err := Jahanjou(in, 8, JahanjouEpsilon, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := Jahanjou(in, 8, JahanjouEpsilon, 1.5); err == nil {
+		t.Fatal("alpha>1 accepted")
+	}
+}
+
+func TestOurHeuristicBeatsOrMatchesJahanjou(t *testing.T) {
+	// The paper's headline single-path experimental finding (Figs 9-10):
+	// the time-indexed heuristic is significantly better than Jahanjou
+	// et al. Check "not worse" on a congested random instance.
+	rng := rand.New(rand.NewSource(17))
+	g := graph.SWAN(2)
+	in := &coflow.Instance{Graph: g}
+	for j := 0; j < 5; j++ {
+		c := coflow.Coflow{ID: j, Weight: 1 + rng.Float64()*4}
+		for i := 0; i < 2; i++ {
+			src := graph.NodeID(rng.Intn(g.NumNodes()))
+			dst := graph.NodeID(rng.Intn(g.NumNodes()))
+			for dst == src {
+				dst = graph.NodeID(rng.Intn(g.NumNodes()))
+			}
+			c.Flows = append(c.Flows, coflow.Flow{Source: src, Sink: dst, Demand: 1 + rng.Float64()*4})
+		}
+		in.Coflows = append(in.Coflows, c)
+	}
+	if err := in.AssignRandomShortestPaths(rng); err != nil {
+		t.Fatal(err)
+	}
+	horizon := in.HorizonUpperBound(coflow.SinglePath) + 2
+	jr, err := Jahanjou(in, horizon, JahanjouEpsilon, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(in, coflow.SinglePath, 0, nil,
+		core.Options{Grid: timegrid.Uniform(int(math.Ceil(horizon)) + 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Heuristic.Weighted > jr.Weighted*1.25+1e-9 {
+		t.Fatalf("heuristic %v much worse than Jahanjou %v", res.Heuristic.Weighted, jr.Weighted)
+	}
+}
+
+func TestTerraStandaloneFigure1(t *testing.T) {
+	// Figure 1's coflow finishes in 2 time units in the free path model.
+	g := graph.Figure1()
+	in := &coflow.Instance{Graph: g, Coflows: []coflow.Coflow{{
+		ID: 0, Weight: 1,
+		Flows: []coflow.Flow{
+			{Source: g.MustNode("NY"), Sink: g.MustNode("BA"), Demand: 18},
+			{Source: g.MustNode("HK"), Sink: g.MustNode("FL"), Demand: 12},
+		},
+	}}}
+	res, err := Terra(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Standalone[0]-2) > 1e-5 {
+		t.Fatalf("standalone time %v, want 2", res.Standalone[0])
+	}
+	if math.Abs(res.Completions[0]-2) > 1e-5 {
+		t.Fatalf("completion %v, want 2", res.Completions[0])
+	}
+}
+
+func TestTerraFigure2(t *testing.T) {
+	in := figure2FP()
+	res, err := Terra(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slotted optimum is 5 (Figure 4), but Terra works in
+	// continuous unslotted time and can even split small coflows over
+	// detours, so it may go below 5 — the paper observes exactly this
+	// ("Terra performs slightly better than even the LP objective").
+	// Every completion is still bounded below by the standalone time.
+	for j, c := range res.Completions {
+		if c < res.Standalone[j]-1e-6 {
+			t.Fatalf("coflow %d completed at %v, faster than standalone %v", j, c, res.Standalone[j])
+		}
+	}
+	if res.Total > 7+1e-5 {
+		t.Fatalf("Terra total %v far above slotted optimum 5", res.Total)
+	}
+	// Standalone times: each small coflow ships its unit at rate 2
+	// (direct edge plus the detour through s) → 0.5; the big coflow
+	// ships 3 units over the three disjoint unit paths → 1.
+	for j := 0; j < 3; j++ {
+		if math.Abs(res.Standalone[j]-0.5) > 1e-5 {
+			t.Fatalf("standalone[%d] = %v, want 0.5", j, res.Standalone[j])
+		}
+	}
+	if math.Abs(res.Standalone[3]-1) > 1e-5 {
+		t.Fatalf("standalone[3] = %v, want 1", res.Standalone[3])
+	}
+	if res.LPSolves < len(in.Coflows) {
+		t.Fatalf("LP solves %d implausibly few", res.LPSolves)
+	}
+}
+
+func TestTerraRespectsReleases(t *testing.T) {
+	in := figure2FP()
+	in.Coflows[0].Release = 10
+	res, err := Terra(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[0] < 10 {
+		t.Fatalf("coflow released at 10 finished at %v", res.Completions[0])
+	}
+}
+
+func TestTerraUnroutableCoflow(t *testing.T) {
+	g := graph.Gadget(2)
+	x0, _ := graph.GadgetPair(g, 0)
+	_, y1 := graph.GadgetPair(g, 1)
+	in := &coflow.Instance{Graph: g, Coflows: []coflow.Coflow{{
+		ID: 0, Weight: 1, Flows: []coflow.Flow{{Source: x0, Sink: y1, Demand: 1}},
+	}}}
+	if _, err := Terra(in); err == nil {
+		t.Fatal("expected error for unroutable coflow")
+	}
+}

@@ -1,0 +1,140 @@
+package coflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Serialization of instances: the graph is encoded structurally (node
+// names and directed edges) so an instance file is self-contained and
+// replayable by cmd/coflowsim.
+
+type jsonEdge struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Capacity float64 `json:"capacity"`
+}
+
+type jsonFlow struct {
+	Source   string  `json:"source"`
+	Sink     string  `json:"sink"`
+	Demand   float64 `json:"demand"`
+	Path     []int   `json:"path,omitempty"`
+	AltPaths [][]int `json:"altPaths,omitempty"`
+	Release  float64 `json:"release,omitempty"`
+}
+
+type jsonCoflow struct {
+	ID      int        `json:"id"`
+	Weight  float64    `json:"weight"`
+	Release float64    `json:"release"`
+	Flows   []jsonFlow `json:"flows"`
+}
+
+type jsonInstance struct {
+	Nodes   []string     `json:"nodes"`
+	Edges   []jsonEdge   `json:"edges"`
+	Coflows []jsonCoflow `json:"coflows"`
+}
+
+// WriteJSON serializes the instance.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	g := in.Graph
+	ji := jsonInstance{}
+	for v := graph.NodeID(0); v < graph.NodeID(g.NumNodes()); v++ {
+		ji.Nodes = append(ji.Nodes, g.NodeName(v))
+	}
+	for _, e := range g.Edges() {
+		ji.Edges = append(ji.Edges, jsonEdge{
+			From: g.NodeName(e.From), To: g.NodeName(e.To), Capacity: e.Capacity,
+		})
+	}
+	for i := range in.Coflows {
+		c := &in.Coflows[i]
+		jc := jsonCoflow{ID: c.ID, Weight: c.Weight, Release: c.Release}
+		for _, f := range c.Flows {
+			jf := jsonFlow{
+				Source: g.NodeName(f.Source), Sink: g.NodeName(f.Sink),
+				Demand: f.Demand, Release: f.Release,
+			}
+			for _, e := range f.Path {
+				jf.Path = append(jf.Path, int(e))
+			}
+			for _, p := range f.AltPaths {
+				jp := make([]int, len(p))
+				for k, e := range p {
+					jp[k] = int(e)
+				}
+				jf.AltPaths = append(jf.AltPaths, jp)
+			}
+			jc.Flows = append(jc.Flows, jf)
+		}
+		ji.Coflows = append(ji.Coflows, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ji)
+}
+
+// ReadJSON deserializes an instance written by WriteJSON.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var ji jsonInstance
+	if err := json.NewDecoder(r).Decode(&ji); err != nil {
+		return nil, fmt.Errorf("coflow: decoding instance: %w", err)
+	}
+	g := graph.New()
+	for _, name := range ji.Nodes {
+		g.AddNode(name)
+	}
+	for _, e := range ji.Edges {
+		from, ok := g.Node(e.From)
+		if !ok {
+			return nil, fmt.Errorf("coflow: edge references unknown node %q", e.From)
+		}
+		to, ok := g.Node(e.To)
+		if !ok {
+			return nil, fmt.Errorf("coflow: edge references unknown node %q", e.To)
+		}
+		if e.Capacity <= 0 {
+			return nil, fmt.Errorf("coflow: edge %s->%s has capacity %g", e.From, e.To, e.Capacity)
+		}
+		g.AddEdge(from, to, e.Capacity)
+	}
+	in := &Instance{Graph: g}
+	for _, jc := range ji.Coflows {
+		c := Coflow{ID: jc.ID, Weight: jc.Weight, Release: jc.Release}
+		for _, jf := range jc.Flows {
+			src, ok := g.Node(jf.Source)
+			if !ok {
+				return nil, fmt.Errorf("coflow %d: unknown source %q", jc.ID, jf.Source)
+			}
+			snk, ok := g.Node(jf.Sink)
+			if !ok {
+				return nil, fmt.Errorf("coflow %d: unknown sink %q", jc.ID, jf.Sink)
+			}
+			f := Flow{Source: src, Sink: snk, Demand: jf.Demand, Release: jf.Release}
+			for _, e := range jf.Path {
+				if e < 0 || e >= g.NumEdges() {
+					return nil, fmt.Errorf("coflow %d: path references unknown edge %d", jc.ID, e)
+				}
+				f.Path = append(f.Path, graph.EdgeID(e))
+			}
+			for _, jp := range jf.AltPaths {
+				p := make([]graph.EdgeID, len(jp))
+				for k, e := range jp {
+					if e < 0 || e >= g.NumEdges() {
+						return nil, fmt.Errorf("coflow %d: alt path references unknown edge %d", jc.ID, e)
+					}
+					p[k] = graph.EdgeID(e)
+				}
+				f.AltPaths = append(f.AltPaths, p)
+			}
+			c.Flows = append(c.Flows, f)
+		}
+		in.Coflows = append(in.Coflows, c)
+	}
+	return in, nil
+}

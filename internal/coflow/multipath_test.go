@@ -1,0 +1,124 @@
+package coflow
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAssignKShortestPaths(t *testing.T) {
+	in := figure2Instance()
+	if err := in.AssignKShortestPaths(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(MultiPath); err != nil {
+		t.Fatal(err)
+	}
+	// The s→t coflow gets all three 2-hop paths.
+	if got := len(in.Coflows[3].Flows[0].AltPaths); got != 3 {
+		t.Fatalf("s→t candidate paths = %d, want 3", got)
+	}
+	// Existing path sets are preserved.
+	before := in.Coflows[0].Flows[0].AltPaths
+	if err := in.AssignKShortestPaths(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Coflows[0].Flows[0].AltPaths) != len(before) {
+		t.Fatal("existing AltPaths overwritten")
+	}
+}
+
+func TestAssignKShortestPathsUnreachable(t *testing.T) {
+	g := graph.Gadget(2)
+	x0, _ := graph.GadgetPair(g, 0)
+	_, y1 := graph.GadgetPair(g, 1)
+	in := &Instance{Graph: g, Coflows: []Coflow{
+		{ID: 0, Weight: 1, Flows: []Flow{{Source: x0, Sink: y1, Demand: 1}}},
+	}}
+	if err := in.AssignKShortestPaths(2); err == nil {
+		t.Fatal("expected error for unreachable sink")
+	}
+}
+
+func TestMultiPathValidation(t *testing.T) {
+	in := figure2Instance()
+	// No AltPaths yet.
+	if err := in.Validate(MultiPath); err == nil {
+		t.Fatal("expected error without AltPaths")
+	}
+	if err := in.AssignKShortestPaths(2); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one path.
+	in.Coflows[0].Flows[0].AltPaths[0] = []graph.EdgeID{0}
+	in.Coflows[0].Flows[0].AltPaths[0][0] = in.Coflows[1].Flows[0].AltPaths[0][0]
+	if err := in.Validate(MultiPath); err == nil {
+		t.Fatal("expected error for a path not connecting source to sink")
+	}
+}
+
+func TestMultiPathJSONRoundTrip(t *testing.T) {
+	in := figure2Instance()
+	if err := in.AssignKShortestPaths(3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(MultiPath); err != nil {
+		t.Fatal(err)
+	}
+	for ci := range in.Coflows {
+		a := in.Coflows[ci].Flows[0].AltPaths
+		b := back.Coflows[ci].Flows[0].AltPaths
+		if len(a) != len(b) {
+			t.Fatalf("coflow %d: alt path count %d vs %d", ci, len(a), len(b))
+		}
+		for pi := range a {
+			if len(a[pi]) != len(b[pi]) {
+				t.Fatalf("coflow %d path %d length changed", ci, pi)
+			}
+			for k := range a[pi] {
+				if a[pi][k] != b[pi][k] {
+					t.Fatalf("coflow %d path %d edge %d changed", ci, pi, k)
+				}
+			}
+		}
+	}
+}
+
+func TestReadJSONBadAltPath(t *testing.T) {
+	src := `{"nodes":["a","b"],"edges":[{"from":"a","to":"b","capacity":1}],
+	"coflows":[{"id":0,"weight":1,"flows":[
+	  {"source":"a","sink":"b","demand":1,"altPaths":[[9]]}]}]}`
+	if _, err := ReadJSON(bytes.NewReader([]byte(src))); err == nil {
+		t.Fatal("expected error for out-of-range alt path edge")
+	}
+}
+
+func TestMultiPathHorizonBound(t *testing.T) {
+	in := figure2Instance()
+	if err := in.AssignKShortestPaths(2); err != nil {
+		t.Fatal(err)
+	}
+	h := in.HorizonUpperBound(MultiPath)
+	if h < 6 {
+		t.Fatalf("horizon %v too small for total demand 6 at unit rate", h)
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	in := figure2Instance()
+	if err := in.Validate(Model(42)); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if Model(42).String() == "" {
+		t.Fatal("unknown model has empty name")
+	}
+}

@@ -1,0 +1,204 @@
+// Package core implements the paper's primary contribution: the
+// randomized 2-approximation "Stretch" pipeline for coflow scheduling
+// in general networks (Sections 3–4), in both the single path and the
+// free path transmission models.
+//
+// The pipeline is
+//
+//	build time-indexed LP  →  solve (internal/simplex)  →
+//	round: take the LP schedule directly (λ=1 heuristic, §6.2)
+//	       or stretch it by 1/λ with λ ~ f(v)=2v (§4.1)      →
+//	compact idle slots (§6.1)  →  verify feasibility  →  evaluate.
+//
+// Every schedule this package returns has passed the feasibility
+// verifier in internal/schedule.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/coflow"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/simplex"
+	"repro/internal/timegrid"
+)
+
+// Options configure the pipeline.
+type Options struct {
+	// Grid is the time expansion. Required.
+	Grid timegrid.Grid
+	// Simplex tunes the LP solver; the zero value uses defaults.
+	Simplex simplex.Options
+	// DisableCompaction turns off the idle-slot optimization of
+	// Section 6.1 (used by the ablation benchmarks).
+	DisableCompaction bool
+}
+
+// Evaluated is a feasibility-verified schedule with its metrics.
+type Evaluated struct {
+	Schedule    *schedule.Schedule
+	Completions []float64 // per-coflow completion times (slot units)
+	Weighted    float64   // Σ w_j C_j
+	Total       float64   // Σ C_j
+	Lambda      float64   // the λ that produced this schedule
+}
+
+// evaluate compacts (optionally), verifies and measures a schedule.
+func evaluate(s *schedule.Schedule, lambda float64, compact bool) (*Evaluated, error) {
+	if compact {
+		s.Compact()
+	}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("core: produced infeasible schedule: %w", err)
+	}
+	ct := s.CompletionTimes()
+	ev := &Evaluated{Schedule: s, Completions: ct, Lambda: lambda}
+	for j, c := range ct {
+		ev.Weighted += s.Inst.Coflows[j].Weight * c
+		ev.Total += c
+	}
+	return ev, nil
+}
+
+// SolveLP builds and solves the relaxation for the given model.
+func SolveLP(inst *coflow.Instance, mode coflow.Model, opt Options) (*model.Solution, error) {
+	var l *model.LP
+	var err error
+	switch mode {
+	case coflow.SinglePath:
+		l, err = model.BuildSinglePath(inst, opt.Grid)
+	case coflow.FreePath:
+		l, err = model.BuildFreePath(inst, opt.Grid)
+	case coflow.MultiPath:
+		l, err = model.BuildMultiPath(inst, opt.Grid)
+	default:
+		return nil, fmt.Errorf("core: unknown model %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return l.Solve(opt.Simplex)
+}
+
+// Heuristic converts the LP solution directly into a schedule — the
+// λ=1.0 LP-based heuristic the paper finds strongest in practice.
+func Heuristic(sol *model.Solution, opt Options) (*Evaluated, error) {
+	return evaluate(schedule.FromLP(sol), 1.0, !opt.DisableCompaction)
+}
+
+// StretchOnce applies the Stretch rounding with a fixed λ.
+func StretchOnce(sol *model.Solution, lambda float64, opt Options) (*Evaluated, error) {
+	s, err := schedule.Stretch(sol, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return evaluate(s, lambda, !opt.DisableCompaction)
+}
+
+// StretchStats aggregates repeated randomized Stretch runs the way the
+// paper reports them: "Best λ" (minimum objective over samples) and
+// "Average λ" (mean objective, the empirical counterpart of the
+// 2-approximation guarantee).
+type StretchStats struct {
+	Samples        []Evaluated
+	BestWeighted   float64
+	BestLambda     float64
+	AvgWeighted    float64
+	BestTotal      float64
+	AvgTotal       float64
+	BestTotalLmbda float64
+}
+
+// StretchTrials samples k values of λ from the f(v)=2v density
+// (paper: k=20), rounds with each, and aggregates.
+func StretchTrials(sol *model.Solution, rng *rand.Rand, k int, opt Options) (*StretchStats, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: StretchTrials needs k ≥ 1, got %d", k)
+	}
+	st := &StretchStats{
+		BestWeighted: math.Inf(1),
+		BestTotal:    math.Inf(1),
+	}
+	for i := 0; i < k; i++ {
+		lambda := schedule.SampleLambda(rng)
+		ev, err := StretchOnce(sol, lambda, opt)
+		if err != nil {
+			return nil, err
+		}
+		st.Samples = append(st.Samples, *ev)
+		st.AvgWeighted += ev.Weighted
+		st.AvgTotal += ev.Total
+		if ev.Weighted < st.BestWeighted {
+			st.BestWeighted = ev.Weighted
+			st.BestLambda = lambda
+		}
+		if ev.Total < st.BestTotal {
+			st.BestTotal = ev.Total
+			st.BestTotalLmbda = lambda
+		}
+	}
+	st.AvgWeighted /= float64(k)
+	st.AvgTotal /= float64(k)
+	return st, nil
+}
+
+// Result bundles a full pipeline run on one instance.
+type Result struct {
+	Mode       coflow.Model
+	LowerBound float64   // LP objective Σ w_j C*_j
+	CStar      []float64 // per-coflow LP completion variables
+	Heuristic  *Evaluated
+	Stretch    *StretchStats // nil if trials == 0 or grid non-uniform
+	Iterations int           // simplex iterations for the LP solve
+}
+
+// Run executes the complete pipeline: solve the LP, evaluate the λ=1
+// heuristic, and (on uniform grids) run `trials` randomized Stretch
+// roundings.
+func Run(inst *coflow.Instance, mode coflow.Model, trials int, rng *rand.Rand, opt Options) (*Result, error) {
+	sol, err := SolveLP(inst, mode, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Mode:       mode,
+		LowerBound: sol.LowerBound,
+		CStar:      sol.CStar,
+		Iterations: sol.Iterations,
+	}
+	if res.Heuristic, err = Heuristic(sol, opt); err != nil {
+		return nil, err
+	}
+	if trials > 0 && opt.Grid.IsUniform() {
+		if rng == nil {
+			return nil, fmt.Errorf("core: stretch trials require an rng")
+		}
+		if res.Stretch, err = StretchTrials(sol, rng, trials, opt); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// DefaultGrid returns a uniform grid sized from the instance's horizon
+// upper bound, capped at maxSlots (the LP grows linearly in the slot
+// count, so the cap bounds solver work; instances that genuinely need
+// more slots are rejected at build time by the release-time check).
+func DefaultGrid(inst *coflow.Instance, mode coflow.Model, maxSlots int) timegrid.Grid {
+	h := int(math.Ceil(inst.HorizonUpperBound(mode))) + 1
+	if h > maxSlots {
+		h = maxSlots
+	}
+	// The cap must never cut the grid below the release horizon: the
+	// last-released flow still needs slots to run in.
+	if minH := int(math.Ceil(inst.MaxRelease())) + 2; h < minH {
+		h = minH
+	}
+	if h < 1 {
+		h = 1
+	}
+	return timegrid.Uniform(h)
+}

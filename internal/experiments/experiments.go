@@ -1,0 +1,516 @@
+// Package experiments regenerates the paper's evaluation (Section 6):
+// one harness per figure, each producing the same data series the
+// corresponding figure plots. Instances are synthetic stand-ins for
+// the paper's workloads (see internal/workload), sizes are scaled to
+// what the from-scratch LP solver handles on a laptop, and all results
+// are in slot units (the paper plots seconds with 50-second slots; the
+// shape of the comparison is unit-invariant).
+//
+// Figure index:
+//
+//	Figure 6  — free path, SWAN, weighted: LP bound / heuristic(λ=1) /
+//	            Best λ / Average λ, per workload
+//	Figure 7  — as Figure 6 on G-Scale
+//	Figure 8  — free path, SWAN, FB workload: geometric-interval ε
+//	            sweep of LP bound and heuristic
+//	Figure 9  — single path, SWAN: time-indexed LP + heuristic vs
+//	            time-interval LP (ε=0.2) + heuristic vs Jahanjou et al.
+//	Figure 10 — as Figure 9 on G-Scale
+//	Figure 11 — free path, SWAN, unit weights: LP / heuristic / Best λ /
+//	            Average λ / Terra (total completion time)
+//	Figure 12 — as Figure 11 on G-Scale
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/coflow"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/simplex"
+	"repro/internal/stats"
+	"repro/internal/timegrid"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. Zero fields take Default values.
+type Config struct {
+	// SingleCoflows is the coflow count for single path figures (9, 10).
+	SingleCoflows int
+	// FreeCoflows is the coflow count for free path figures on SWAN
+	// (6, 8, 11); G-Scale free path figures use half (its LPs carry
+	// ~3× the edges).
+	FreeCoflows int
+	// MaxSlots caps the uniform grid length.
+	MaxSlots int
+	// Trials is the number of λ samples for Best/Average λ (paper: 20).
+	Trials int
+	// Seed drives all randomness.
+	Seed int64
+	// MeanInterarrival is the release process mean gap in slots.
+	MeanInterarrival float64
+	// EpsSweep lists the ε values for Figure 8.
+	EpsSweep []float64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Default returns the laptop-scale configuration used by
+// cmd/coflowsim. The paper ran 200 jobs per workload on Gurobi; these
+// sizes keep every figure under a few minutes with the built-in
+// simplex while preserving the qualitative comparisons.
+func Default() Config {
+	return Config{
+		SingleCoflows:    24,
+		FreeCoflows:      8,
+		MaxSlots:         36,
+		Trials:           20,
+		Seed:             2019,
+		MeanInterarrival: 1.5,
+		EpsSweep:         []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+	}
+}
+
+// Small returns a quick configuration for tests and benchmarks.
+func Small() Config {
+	c := Default()
+	c.SingleCoflows = 6
+	c.FreeCoflows = 3
+	c.MaxSlots = 16
+	c.Trials = 5
+	c.MeanInterarrival = 1
+	c.EpsSweep = []float64{0.2, 0.5436, 1.0}
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.SingleCoflows == 0 {
+		c.SingleCoflows = d.SingleCoflows
+	}
+	if c.FreeCoflows == 0 {
+		c.FreeCoflows = d.FreeCoflows
+	}
+	if c.MaxSlots == 0 {
+		c.MaxSlots = d.MaxSlots
+	}
+	if c.Trials == 0 {
+		c.Trials = d.Trials
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.MeanInterarrival == 0 {
+		c.MeanInterarrival = d.MeanInterarrival
+	}
+	if len(c.EpsSweep) == 0 {
+		c.EpsSweep = d.EpsSweep
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Row is one bar group / x-position of a figure.
+type Row struct {
+	Label  string
+	Values map[string]float64
+}
+
+// FigureResult is a regenerated figure as a table.
+type FigureResult struct {
+	Name   string
+	Series []string
+	Rows   []Row
+}
+
+// Render writes an aligned text table.
+func (r *FigureResult) Render(w io.Writer) error {
+	width := 12
+	for _, s := range r.Series {
+		if len(s)+2 > width {
+			width = len(s) + 2
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", r.Name, strings.Repeat("=", len(r.Name))); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s", "")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%*s", width, s)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s", row.Label)
+		for _, s := range r.Series {
+			v, ok := row.Values[s]
+			switch {
+			case !ok || math.IsNaN(v):
+				fmt.Fprintf(w, "%*s", width, "-")
+			default:
+				fmt.Fprintf(w, "%*.1f", width, v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as CSV.
+func (r *FigureResult) RenderCSV(w io.Writer) error {
+	cols := append([]string{"label"}, r.Series...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{row.Label}
+		for _, s := range r.Series {
+			if v, ok := row.Values[s]; ok && !math.IsNaN(v) {
+				rec = append(rec, fmt.Sprintf("%.4f", v))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(rec, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series names shared across figures (matching the paper's legends).
+const (
+	SeriesLP           = "LP(lower bound)"
+	SeriesHeuristic    = "Heuristic(λ=1.0)"
+	SeriesBestLambda   = "Best λ"
+	SeriesAvgLambda    = "Average λ"
+	SeriesIntervalLP   = "Interval LP(ε=0.2)"
+	SeriesIntervalHeur = "Interval heuristic"
+	SeriesJahanjou     = "Jahanjou et al."
+	SeriesTerra        = "Terra"
+)
+
+// retryable reports whether the error is an LP that came back
+// infeasible (horizon too short) or over its iteration budget.
+func retryable(err error) bool {
+	var se *model.StatusError
+	return errors.As(err, &se) &&
+		(se.Status == simplex.Infeasible || se.Status == simplex.IterLimit)
+}
+
+// runAdaptive runs the core pipeline on a uniform grid, doubling the
+// slot count (up to 4× the configured cap) when the horizon proves too
+// short for the generated demands.
+func runAdaptive(c Config, in *coflow.Instance, mode coflow.Model, trials int, rng *rand.Rand) (*core.Result, timegrid.Grid, error) {
+	grid := core.DefaultGrid(in, mode, c.MaxSlots)
+	slots := grid.NumSlots()
+	for {
+		grid = timegrid.Uniform(slots)
+		res, err := core.Run(in, mode, trials, rng, core.Options{Grid: grid})
+		if err == nil {
+			return res, grid, nil
+		}
+		if retryable(err) && slots < 4*c.MaxSlots {
+			c.logf("horizon %d slots too short (%v); doubling", slots, err)
+			slots *= 2
+			continue
+		}
+		return nil, grid, err
+	}
+}
+
+// topologyFor returns the named topology with unit link capacity.
+func topologyFor(name string) (*graph.Graph, error) {
+	switch name {
+	case "SWAN":
+		return graph.SWAN(1), nil
+	case "G-Scale":
+		return graph.GScale(1), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology %q", name)
+	}
+}
+
+// generate builds the workload instance for one figure cell.
+func (c Config) generate(kind workload.Kind, g *graph.Graph, n int, unweighted, paths bool) (*coflow.Instance, error) {
+	cfg := workload.Config{
+		Kind:             kind,
+		Graph:            g,
+		NumCoflows:       n,
+		Seed:             stats.SubSeed(c.Seed, uint64(kind)*31+7),
+		MeanInterarrival: c.MeanInterarrival,
+		AssignPaths:      paths,
+	}
+	if unweighted {
+		cfg.WeightMin, cfg.WeightMax = 1, 1
+	}
+	return workload.Generate(cfg)
+}
+
+// weightedFree runs Figures 6 and 7: free path, weighted, one row per
+// workload with LP bound / heuristic / best λ / average λ.
+func weightedFree(c Config, topo string, figure string) (*FigureResult, error) {
+	c = c.withDefaults()
+	g, err := topologyFor(topo)
+	if err != nil {
+		return nil, err
+	}
+	n := c.FreeCoflows
+	if topo == "G-Scale" {
+		n = (n + 1) / 2
+	}
+	res := &FigureResult{
+		Name:   figure,
+		Series: []string{SeriesLP, SeriesHeuristic, SeriesBestLambda, SeriesAvgLambda},
+	}
+	for _, kind := range workload.Kinds {
+		c.logf("%s: workload %v (n=%d)", figure, kind, n)
+		in, err := c.generate(kind, g, n, false, false)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(stats.SubSeed(c.Seed, uint64(kind)+100)))
+		run, _, err := runAdaptive(c, in, coflow.FreePath, c.Trials, rng)
+		if err != nil {
+			return nil, fmt.Errorf("%s %v: %w", figure, kind, err)
+		}
+		res.Rows = append(res.Rows, Row{
+			Label: kind.String(),
+			Values: map[string]float64{
+				SeriesLP:         run.LowerBound,
+				SeriesHeuristic:  run.Heuristic.Weighted,
+				SeriesBestLambda: run.Stretch.BestWeighted,
+				SeriesAvgLambda:  run.Stretch.AvgWeighted,
+			},
+		})
+	}
+	return res, nil
+}
+
+// Figure6 regenerates Figure 6 (free path, SWAN, weighted).
+func Figure6(c Config) (*FigureResult, error) {
+	return weightedFree(c, "SWAN", "Figure 6: free path on SWAN (weighted completion, slot units)")
+}
+
+// Figure7 regenerates Figure 7 (free path, G-Scale, weighted).
+func Figure7(c Config) (*FigureResult, error) {
+	return weightedFree(c, "G-Scale", "Figure 7: free path on G-Scale (weighted completion, slot units)")
+}
+
+// Figure8 regenerates Figure 8: the geometric-interval ε sweep on the
+// FB workload over SWAN in the free path model.
+func Figure8(c Config) (*FigureResult, error) {
+	c = c.withDefaults()
+	g, err := topologyFor("SWAN")
+	if err != nil {
+		return nil, err
+	}
+	in, err := c.generate(workload.FB, g, c.FreeCoflows, false, false)
+	if err != nil {
+		return nil, err
+	}
+	horizon := in.HorizonUpperBound(coflow.FreePath) + 1
+	if horizon > float64(4*c.MaxSlots) {
+		horizon = float64(4 * c.MaxSlots)
+	}
+	res := &FigureResult{
+		Name:   "Figure 8: free path on SWAN, FB workload — effect of interval ε",
+		Series: []string{"Interval LP(lower bound)", SeriesHeuristic},
+	}
+	eps := append([]float64(nil), c.EpsSweep...)
+	sort.Float64s(eps)
+	for _, e := range eps {
+		c.logf("Figure 8: ε = %.4g", e)
+		grid := timegrid.Geometric(horizon, e)
+		l, err := model.BuildFreePath(in, grid)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := l.Solve(simplex.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("figure 8 ε=%g: %w", e, err)
+		}
+		heur, err := core.Heuristic(sol, core.Options{Grid: grid})
+		if err != nil {
+			return nil, fmt.Errorf("figure 8 ε=%g: %w", e, err)
+		}
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("ε=%.4g", e),
+			Values: map[string]float64{
+				"Interval LP(lower bound)": sol.LowerBound,
+				SeriesHeuristic:            heur.Weighted,
+			},
+		})
+	}
+	return res, nil
+}
+
+// singlePath runs Figures 9 and 10: per workload, the time-indexed LP
+// and heuristic, the ε=0.2 time-interval LP and heuristic, and the
+// Jahanjou et al. baseline (ε=0.5436).
+func singlePath(c Config, topo, figure string) (*FigureResult, error) {
+	c = c.withDefaults()
+	g, err := topologyFor(topo)
+	if err != nil {
+		return nil, err
+	}
+	n := c.SingleCoflows
+	if topo == "G-Scale" {
+		n = (n*2 + 2) / 3
+	}
+	res := &FigureResult{
+		Name: figure,
+		Series: []string{SeriesLP, SeriesHeuristic, SeriesIntervalLP,
+			SeriesIntervalHeur, SeriesJahanjou},
+	}
+	for _, kind := range workload.Kinds {
+		c.logf("%s: workload %v (n=%d)", figure, kind, n)
+		in, err := c.generate(kind, g, n, false, true)
+		if err != nil {
+			return nil, err
+		}
+		run, grid, err := runAdaptive(c, in, coflow.SinglePath, 0, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s %v (uniform): %w", figure, kind, err)
+		}
+
+		// Time-interval LP (ε = 0.2) + its heuristic, growing the
+		// horizon when interval snapping loses feasibility.
+		horizon := grid.Horizon()
+		var solInt *model.Solution
+		var heurInt *core.Evaluated
+		var gridInt timegrid.Grid
+		for h := horizon; ; h *= 2 {
+			gridInt = timegrid.Geometric(h, 0.2)
+			lInt, err := model.BuildSinglePath(in, gridInt)
+			if err != nil {
+				return nil, err
+			}
+			solInt, err = lInt.Solve(simplex.Options{})
+			if err != nil {
+				if retryable(err) && h < 8*horizon {
+					continue
+				}
+				return nil, fmt.Errorf("%s %v (interval): %w", figure, kind, err)
+			}
+			break
+		}
+		heurInt, err = core.Heuristic(solInt, core.Options{Grid: gridInt})
+		if err != nil {
+			return nil, err
+		}
+
+		// Jahanjou et al. with the ratio-optimizing ε.
+		jr, err := baselines.Jahanjou(in, horizon, baselines.JahanjouEpsilon, 0.5)
+		if err != nil {
+			if retryable(err) {
+				jr, err = baselines.Jahanjou(in, 4*horizon, baselines.JahanjouEpsilon, 0.5)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s %v (jahanjou): %w", figure, kind, err)
+			}
+		}
+
+		res.Rows = append(res.Rows, Row{
+			Label: kind.String(),
+			Values: map[string]float64{
+				SeriesLP:           run.LowerBound,
+				SeriesHeuristic:    run.Heuristic.Weighted,
+				SeriesIntervalLP:   solInt.LowerBound,
+				SeriesIntervalHeur: heurInt.Weighted,
+				SeriesJahanjou:     jr.Weighted,
+			},
+		})
+	}
+	return res, nil
+}
+
+// Figure9 regenerates Figure 9 (single path, SWAN).
+func Figure9(c Config) (*FigureResult, error) {
+	return singlePath(c, "SWAN", "Figure 9: single path on SWAN (weighted completion, slot units)")
+}
+
+// Figure10 regenerates Figure 10 (single path, G-Scale).
+func Figure10(c Config) (*FigureResult, error) {
+	return singlePath(c, "G-Scale", "Figure 10: single path on G-Scale (weighted completion, slot units)")
+}
+
+// unweightedFree runs Figures 11 and 12: unit weights, total
+// completion time, against Terra.
+func unweightedFree(c Config, topo, figure string) (*FigureResult, error) {
+	c = c.withDefaults()
+	g, err := topologyFor(topo)
+	if err != nil {
+		return nil, err
+	}
+	n := c.FreeCoflows
+	if topo == "G-Scale" {
+		n = (n + 1) / 2
+	}
+	res := &FigureResult{
+		Name: figure,
+		Series: []string{SeriesLP, SeriesHeuristic, SeriesBestLambda,
+			SeriesAvgLambda, SeriesTerra},
+	}
+	for _, kind := range workload.Kinds {
+		c.logf("%s: workload %v (n=%d)", figure, kind, n)
+		in, err := c.generate(kind, g, n, true, false)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(stats.SubSeed(c.Seed, uint64(kind)+200)))
+		run, _, err := runAdaptive(c, in, coflow.FreePath, c.Trials, rng)
+		if err != nil {
+			return nil, fmt.Errorf("%s %v: %w", figure, kind, err)
+		}
+		tr, err := baselines.Terra(in)
+		if err != nil {
+			return nil, fmt.Errorf("%s %v (terra): %w", figure, kind, err)
+		}
+		// Unweighted objective: total completion time.
+		lpTotal := 0.0
+		for _, cs := range run.CStar {
+			lpTotal += cs
+		}
+		res.Rows = append(res.Rows, Row{
+			Label: kind.String(),
+			Values: map[string]float64{
+				SeriesLP:         lpTotal,
+				SeriesHeuristic:  run.Heuristic.Total,
+				SeriesBestLambda: run.Stretch.BestTotal,
+				SeriesAvgLambda:  run.Stretch.AvgTotal,
+				SeriesTerra:      tr.Total,
+			},
+		})
+	}
+	return res, nil
+}
+
+// Figure11 regenerates Figure 11 (free path, SWAN, unit weights, vs Terra).
+func Figure11(c Config) (*FigureResult, error) {
+	return unweightedFree(c, "SWAN", "Figure 11: free path on SWAN (total completion, unit weights, slot units)")
+}
+
+// Figure12 regenerates Figure 12 (free path, G-Scale, unit weights, vs Terra).
+func Figure12(c Config) (*FigureResult, error) {
+	return unweightedFree(c, "G-Scale", "Figure 12: free path on G-Scale (total completion, unit weights, slot units)")
+}
+
+// Figures maps figure numbers to their harnesses.
+var Figures = map[int]func(Config) (*FigureResult, error){
+	6: Figure6, 7: Figure7, 8: Figure8, 9: Figure9,
+	10: Figure10, 11: Figure11, 12: Figure12,
+}

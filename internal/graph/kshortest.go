@@ -1,0 +1,144 @@
+package graph
+
+import "sort"
+
+// KShortestPaths returns up to k loopless s→t paths in non-decreasing
+// hop count using Yen's algorithm over BFS shortest paths. It powers
+// the intermediate "multiple given paths" transmission model the paper
+// sketches in Section 2 (between single path and free path). Paths are
+// returned as edge-id sequences; fewer than k are returned when the
+// graph does not admit them.
+func (g *Graph) KShortestPaths(s, t NodeID, k int) [][]EdgeID {
+	if k <= 0 {
+		return nil
+	}
+	first := g.ShortestPath(s, t)
+	if first == nil {
+		return nil
+	}
+	paths := [][]EdgeID{first}
+	// Candidate paths, deduplicated by signature.
+	var candidates [][]EdgeID
+	seen := map[string]bool{pathKey(first): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevNodes := g.pathNodes(s, prev)
+		// Spur from each node of the previous path.
+		for i := 0; i < len(prev); i++ {
+			spurNode := prevNodes[i]
+			rootPath := prev[:i]
+
+			// Edges to hide: the next edge of every accepted path
+			// sharing the root, plus root nodes (loopless-ness).
+			banEdge := make(map[EdgeID]bool)
+			for _, p := range paths {
+				if len(p) > i && sameprefix(p, rootPath) {
+					banEdge[p[i]] = true
+				}
+			}
+			banNode := make(map[NodeID]bool)
+			for _, v := range prevNodes[:i] {
+				banNode[v] = true
+			}
+
+			spur := g.shortestPathFiltered(spurNode, t, banEdge, banNode)
+			if spur == nil {
+				continue
+			}
+			cand := append(append([]EdgeID{}, rootPath...), spur...)
+			key := pathKey(cand)
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Take the shortest candidate (ties by lexicographic edge ids
+		// for determinism).
+		sort.Slice(candidates, func(a, b int) bool {
+			if len(candidates[a]) != len(candidates[b]) {
+				return len(candidates[a]) < len(candidates[b])
+			}
+			return pathKey(candidates[a]) < pathKey(candidates[b])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+// pathNodes lists the nodes visited by the path, starting at s.
+func (g *Graph) pathNodes(s NodeID, path []EdgeID) []NodeID {
+	nodes := make([]NodeID, 0, len(path)+1)
+	nodes = append(nodes, s)
+	for _, eid := range path {
+		nodes = append(nodes, g.edges[eid].To)
+	}
+	return nodes
+}
+
+func sameprefix(p, prefix []EdgeID) bool {
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p []EdgeID) string {
+	b := make([]byte, 0, 4*len(p))
+	for _, e := range p {
+		b = append(b, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+	}
+	return string(b)
+}
+
+// shortestPathFiltered is BFS shortest path avoiding banned edges and
+// nodes (the spur computation of Yen's algorithm).
+func (g *Graph) shortestPathFiltered(s, t NodeID, banEdge map[EdgeID]bool, banNode map[NodeID]bool) []EdgeID {
+	if banNode[s] || banNode[t] {
+		return nil
+	}
+	parent := make([]EdgeID, g.NumNodes())
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[s] = 0
+	queue := []NodeID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == t {
+			break
+		}
+		for _, eid := range g.out[v] {
+			if banEdge[eid] {
+				continue
+			}
+			w := g.edges[eid].To
+			if banNode[w] || dist[w] >= 0 {
+				continue
+			}
+			dist[w] = dist[v] + 1
+			parent[w] = eid
+			queue = append(queue, w)
+		}
+	}
+	if dist[t] < 0 {
+		return nil
+	}
+	path := make([]EdgeID, 0, dist[t])
+	for cur := t; cur != s; {
+		eid := parent[cur]
+		path = append(path, eid)
+		cur = g.edges[eid].From
+	}
+	reverse(path)
+	return path
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKShortestFigure2(t *testing.T) {
+	g := Figure2()
+	s, d := g.MustNode("s"), g.MustNode("t")
+	paths := g.KShortestPaths(s, d, 3)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	mids := map[NodeID]bool{}
+	for _, p := range paths {
+		if len(p) != 2 {
+			t.Fatalf("path length %d, want 2", len(p))
+		}
+		if err := g.ValidatePath(s, d, p); err != nil {
+			t.Fatal(err)
+		}
+		mids[g.Edge(p[0]).To] = true
+	}
+	if len(mids) != 3 {
+		t.Fatalf("paths not distinct: middles %v", mids)
+	}
+}
+
+func TestKShortestMoreThanExist(t *testing.T) {
+	g := Line(4, 1)
+	paths := g.KShortestPaths(g.MustNode("v0"), g.MustNode("v3"), 5)
+	if len(paths) != 1 {
+		t.Fatalf("line admits 1 path, got %d", len(paths))
+	}
+}
+
+func TestKShortestUnreachableAndDegenerate(t *testing.T) {
+	g := Gadget(2)
+	x0, _ := GadgetPair(g, 0)
+	_, y1 := GadgetPair(g, 1)
+	if p := g.KShortestPaths(x0, y1, 3); p != nil {
+		t.Fatalf("unreachable pair returned %v", p)
+	}
+	if p := g.KShortestPaths(x0, y1, 0); p != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestKShortestOrderedLooplessDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g := GScale(1)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NodeID(r.Intn(g.NumNodes()))
+		d := NodeID(r.Intn(g.NumNodes()))
+		if s == d {
+			return true
+		}
+		k := 1 + r.Intn(6)
+		paths := g.KShortestPaths(s, d, k)
+		if len(paths) == 0 || len(paths) > k {
+			return false
+		}
+		seen := map[string]bool{}
+		for i, p := range paths {
+			if g.ValidatePath(s, d, p) != nil {
+				return false
+			}
+			// Non-decreasing lengths, first is shortest.
+			if i > 0 && len(p) < len(paths[i-1]) {
+				return false
+			}
+			if i == 0 && len(p) != g.HopDistance(s, d) {
+				return false
+			}
+			// Loopless: no repeated node.
+			nodes := g.pathNodes(s, p)
+			nodeSet := map[NodeID]bool{}
+			for _, v := range nodes {
+				if nodeSet[v] {
+					return false
+				}
+				nodeSet[v] = true
+			}
+			key := pathKey(p)
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKShortestSWANRichness(t *testing.T) {
+	// SWAN is 2-connected, so adjacent DCs admit ≥ 2 loopless paths.
+	g := SWAN(1)
+	paths := g.KShortestPaths(g.MustNode("DC1"), g.MustNode("DC2"), 4)
+	if len(paths) < 2 {
+		t.Fatalf("got %d paths, want ≥ 2", len(paths))
+	}
+}

@@ -1,0 +1,377 @@
+// Package lu implements a sparse LU factorization with partial
+// pivoting using the Gilbert–Peierls left-looking algorithm. It is the
+// basis-factorization engine for the revised simplex solver in
+// internal/simplex, standing in for the proprietary LP solver the
+// paper uses (Gurobi).
+//
+// The factorization computes P·B·Q = L·U where P is a row permutation
+// chosen by partial pivoting, Q is a static column permutation chosen
+// for sparsity (columns ordered by increasing nonzero count), L is
+// unit lower triangular and U is upper triangular. Solves with B and
+// Bᵀ are provided against dense right-hand sides.
+package lu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// ErrSingular is returned (wrapped) when no acceptable pivot exists in
+// some column, i.e. the matrix is singular or numerically so.
+var ErrSingular = errors.New("lu: matrix is singular")
+
+// DefaultPivotTol is the absolute magnitude below which a candidate
+// pivot is considered zero.
+const DefaultPivotTol = 1e-10
+
+// Factorization holds the L and U factors and the permutations.
+// A Factorization can be reused: calling Factor again reuses the
+// internal workspace.
+type Factorization struct {
+	n int
+
+	// L: unit lower triangular, stored by column in pivot order.
+	// Row indices are ORIGINAL row ids; the unit diagonal is implicit.
+	lColPtr []int
+	lRowIdx []int
+	lVal    []float64
+
+	// U: upper triangular in pivot coordinates, stored by column.
+	// Row indices are pivot positions k ≤ j; the diagonal is stored
+	// separately in uDiag.
+	uColPtr []int
+	uRowIdx []int
+	uVal    []float64
+	uDiag   []float64
+
+	p    []int // p[k] = original row pivoted at step k
+	pinv []int // pinv[origRow] = pivot step, or -1 during factorization
+	q    []int // q[k] = original column eliminated at step k
+
+	// workspace
+	x     []float64
+	xi    []int // topological order stack
+	stack []int // DFS stack (node)
+	pstk  []int // DFS stack (position within column)
+	mark  []bool
+
+	pivotTol float64
+}
+
+// New returns a Factorization sized for n×n matrices with the default
+// pivot tolerance.
+func New(n int) *Factorization {
+	f := &Factorization{pivotTol: DefaultPivotTol}
+	f.resize(n)
+	return f
+}
+
+// SetPivotTol overrides the singularity threshold. It must be called
+// before Factor.
+func (f *Factorization) SetPivotTol(tol float64) { f.pivotTol = tol }
+
+// N reports the dimension of the factorized matrix.
+func (f *Factorization) N() int { return f.n }
+
+// LNnz reports the number of off-diagonal nonzeros stored in L.
+func (f *Factorization) LNnz() int { return len(f.lRowIdx) }
+
+// UNnz reports the number of nonzeros stored in U including diagonal.
+func (f *Factorization) UNnz() int { return len(f.uRowIdx) + f.n }
+
+func (f *Factorization) resize(n int) {
+	f.n = n
+	f.lColPtr = grow(f.lColPtr, n+1)
+	f.uColPtr = grow(f.uColPtr, n+1)
+	f.uDiag = growF(f.uDiag, n)
+	f.p = grow(f.p, n)
+	f.pinv = grow(f.pinv, n)
+	f.q = grow(f.q, n)
+	f.x = growF(f.x, n)
+	f.xi = grow(f.xi, n)
+	f.stack = grow(f.stack, n)
+	f.pstk = grow(f.pstk, n)
+	if cap(f.mark) < n {
+		f.mark = make([]bool, n)
+	}
+	f.mark = f.mark[:n]
+}
+
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Factor computes the LU factorization of the square matrix m.
+// It returns an error wrapping ErrSingular when a column admits no
+// pivot above the tolerance; the error reports the elimination step.
+func (f *Factorization) Factor(m *sparse.Matrix) error {
+	if m.Rows != m.Cols {
+		return fmt.Errorf("lu: matrix is %dx%d, want square", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	f.resize(n)
+	f.lRowIdx = f.lRowIdx[:0]
+	f.lVal = f.lVal[:0]
+	f.uRowIdx = f.uRowIdx[:0]
+	f.uVal = f.uVal[:0]
+	for i := 0; i < n; i++ {
+		f.pinv[i] = -1
+		f.x[i] = 0
+		f.mark[i] = false
+	}
+
+	// Static column order: increasing nonzero count. Ties broken by
+	// index for determinism.
+	for j := 0; j < n; j++ {
+		f.q[j] = j
+	}
+	q := f.q
+	sort.SliceStable(q, func(a, b int) bool {
+		na, nb := m.ColNnz(q[a]), m.ColNnz(q[b])
+		if na != nb {
+			return na < nb
+		}
+		return q[a] < q[b]
+	})
+
+	for j := 0; j < n; j++ {
+		c := q[j]
+		bIdx, bVal := m.Col(c)
+
+		// Symbolic: compute the reach of the column pattern through
+		// the graph of L (iterative DFS, reverse-postorder into xi).
+		top := f.reach(bIdx)
+
+		// Numeric: scatter b, then eliminate in topological order.
+		for _, i := range bIdx {
+			f.x[i] = 0
+		}
+		for p := top; p < n; p++ {
+			f.x[f.xi[p]] = 0
+		}
+		for k, i := range bIdx {
+			f.x[i] += bVal[k]
+		}
+		for p := top; p < n; p++ {
+			i := f.xi[p]
+			k := f.pinv[i]
+			if k < 0 {
+				continue
+			}
+			xi := f.x[i]
+			if xi == 0 {
+				continue
+			}
+			lo, hi := f.lColPtr[k], f.lColPtr[k+1]
+			for t := lo; t < hi; t++ {
+				f.x[f.lRowIdx[t]] -= f.lVal[t] * xi
+			}
+		}
+
+		// Pivot: the largest magnitude among rows not yet pivotal.
+		piv := -1
+		var pivAbs float64
+		for p := top; p < n; p++ {
+			i := f.xi[p]
+			if f.pinv[i] >= 0 {
+				continue
+			}
+			if a := math.Abs(f.x[i]); a > pivAbs {
+				pivAbs = a
+				piv = i
+			}
+		}
+		if piv < 0 || pivAbs <= f.pivotTol {
+			f.clearColumn(top)
+			return fmt.Errorf("lu: step %d (column %d): %w", j, c, ErrSingular)
+		}
+		pivVal := f.x[piv]
+		f.pinv[piv] = j
+		f.p[j] = piv
+		f.uDiag[j] = pivVal
+
+		// Split the work vector into U (pivotal rows) and L
+		// (remaining rows, scaled by the pivot).
+		for p := top; p < n; p++ {
+			i := f.xi[p]
+			f.mark[i] = false
+			v := f.x[i]
+			f.x[i] = 0
+			if i == piv || v == 0 {
+				continue
+			}
+			if k := f.pinv[i]; k >= 0 && k < j {
+				f.uRowIdx = append(f.uRowIdx, k)
+				f.uVal = append(f.uVal, v)
+			} else {
+				f.lRowIdx = append(f.lRowIdx, i)
+				f.lVal = append(f.lVal, v/pivVal)
+			}
+		}
+		f.lColPtr[j+1] = len(f.lRowIdx)
+		f.uColPtr[j+1] = len(f.uRowIdx)
+	}
+	return nil
+}
+
+// clearColumn resets marks and x after a failed pivot so the
+// factorization object stays reusable.
+func (f *Factorization) clearColumn(top int) {
+	for p := top; p < f.n; p++ {
+		i := f.xi[p]
+		f.mark[i] = false
+		f.x[i] = 0
+	}
+}
+
+// reach performs an iterative DFS from the rows in pattern through the
+// graph of L, storing a reverse postorder in xi[top:n] and returning
+// top. Visited nodes remain marked; the caller resets marks.
+func (f *Factorization) reach(pattern []int) int {
+	top := f.n
+	for _, root := range pattern {
+		if f.mark[root] {
+			continue
+		}
+		// Iterative DFS with an explicit (node, position) stack.
+		depth := 0
+		f.stack[0] = root
+		f.pstk[0] = 0
+		f.mark[root] = true
+		for depth >= 0 {
+			i := f.stack[depth]
+			k := f.pinv[i]
+			done := true
+			if k >= 0 {
+				lo, hi := f.lColPtr[k], f.lColPtr[k+1]
+				for t := lo + f.pstk[depth]; t < hi; t++ {
+					r := f.lRowIdx[t]
+					if f.mark[r] {
+						continue
+					}
+					// Descend into r; remember resume position.
+					f.pstk[depth] = t - lo + 1
+					depth++
+					f.stack[depth] = r
+					f.pstk[depth] = 0
+					f.mark[r] = true
+					done = false
+					break
+				}
+			}
+			if done {
+				top--
+				f.xi[top] = i
+				depth--
+			}
+		}
+	}
+	return top
+}
+
+// Solve computes x with B·x = b. b and x have length n and may alias.
+func (f *Factorization) Solve(b, x []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("lu: Solve dimension mismatch")
+	}
+	z := f.x // reuse workspace; zeroed on exit of Factor and solves
+	// Forward: L z = P b, z indexed by pivot position.
+	for k := 0; k < n; k++ {
+		z[k] = b[f.p[k]]
+	}
+	for k := 0; k < n; k++ {
+		zk := z[k]
+		if zk == 0 {
+			continue
+		}
+		lo, hi := f.lColPtr[k], f.lColPtr[k+1]
+		for t := lo; t < hi; t++ {
+			z[f.pinv[f.lRowIdx[t]]] -= f.lVal[t] * zk
+		}
+	}
+	// Backward: U w = z, then scatter through the column permutation.
+	for j := n - 1; j >= 0; j-- {
+		wj := z[j] / f.uDiag[j]
+		z[j] = wj
+		if wj == 0 {
+			continue
+		}
+		lo, hi := f.uColPtr[j], f.uColPtr[j+1]
+		for t := lo; t < hi; t++ {
+			z[f.uRowIdx[t]] -= f.uVal[t] * wj
+		}
+	}
+	// x[q[j]] = w_j. All of b was read in the forward pass, so writing
+	// x is safe even when x aliases b. Clear the workspace as we go.
+	for j := n - 1; j >= 0; j-- {
+		x[f.q[j]] = z[j]
+		z[j] = 0
+	}
+}
+
+// SolveTranspose computes x with Bᵀ·x = b. b and x have length n and
+// may alias.
+func (f *Factorization) SolveTranspose(b, x []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("lu: SolveTranspose dimension mismatch")
+	}
+	z := f.x
+	// Uᵀ z = b', with b'_j = b[q[j]]. Uᵀ is lower triangular, so go
+	// ascending; each step is a gather over U's column j.
+	for j := 0; j < n; j++ {
+		s := b[f.q[j]]
+		lo, hi := f.uColPtr[j], f.uColPtr[j+1]
+		for t := lo; t < hi; t++ {
+			s -= f.uVal[t] * z[f.uRowIdx[t]]
+		}
+		z[j] = s / f.uDiag[j]
+	}
+	// Lᵀ w = z. Lᵀ is upper triangular (unit diagonal), go descending;
+	// gather over L's column k, whose rows live strictly below k in
+	// pivot order.
+	for k := n - 1; k >= 0; k-- {
+		s := z[k]
+		lo, hi := f.lColPtr[k], f.lColPtr[k+1]
+		for t := lo; t < hi; t++ {
+			s -= f.lVal[t] * z[f.pinv[f.lRowIdx[t]]]
+		}
+		z[k] = s
+	}
+	// x[p[k]] = w_k.
+	for k := n - 1; k >= 0; k-- {
+		x[f.p[k]] = z[k]
+	}
+	// Clear workspace (x may alias b but never aliases f.x).
+	for k := 0; k < n; k++ {
+		z[k] = 0
+	}
+}
+
+// Residual returns ‖B·x − b‖∞ for diagnostics.
+func Residual(m *sparse.Matrix, x, b []float64) float64 {
+	y := make([]float64, m.Rows)
+	m.MulVec(x, y)
+	var worst float64
+	for i := range y {
+		if d := math.Abs(y[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,366 @@
+package lu
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// denseSolve solves A x = b by Gaussian elimination with partial
+// pivoting, as an independent reference. Returns false if singular.
+func denseSolve(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv, best := -1, 0.0
+		for r := col; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if piv < 0 || best < 1e-12 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, true
+}
+
+// randomNonsingular builds a random sparse matrix with a guaranteed
+// nonzero diagonal so it is (almost surely) nonsingular.
+func randomNonsingular(rng *rand.Rand, n int, extra int) *sparse.Matrix {
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1+rng.Float64()*4)
+	}
+	for k := 0; k < extra; k++ {
+		b.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+	}
+	return b.Build()
+}
+
+func TestFactorIdentity(t *testing.T) {
+	f := New(5)
+	if err := f.Factor(sparse.Identity(5)); err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3, 4, 5}
+	x := make([]float64, 5)
+	f.Solve(b, x)
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-12 {
+			t.Fatalf("identity solve: x = %v", x)
+		}
+	}
+	f.SolveTranspose(b, x)
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-12 {
+			t.Fatalf("identity transpose solve: x = %v", x)
+		}
+	}
+}
+
+func TestFactorKnown2x2(t *testing.T) {
+	// [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+	bld := sparse.NewBuilder(2, 2)
+	bld.Add(0, 0, 2)
+	bld.Add(0, 1, 1)
+	bld.Add(1, 0, 1)
+	bld.Add(1, 1, 3)
+	m := bld.Build()
+	f := New(2)
+	if err := f.Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve([]float64{5, 10}, x)
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestFactorPermutationMatrix(t *testing.T) {
+	// A pure permutation matrix exercises pivoting away from the diagonal.
+	n := 6
+	perm := []int{3, 0, 5, 1, 4, 2}
+	bld := sparse.NewBuilder(n, n)
+	for j, i := range perm {
+		bld.Add(i, j, 1)
+	}
+	m := bld.Build()
+	f := New(n)
+	if err := f.Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3, 4, 5, 6}
+	x := make([]float64, n)
+	f.Solve(b, x)
+	if r := Residual(m, x, b); r > 1e-12 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestFactorSingularReported(t *testing.T) {
+	bld := sparse.NewBuilder(3, 3)
+	bld.Add(0, 0, 1)
+	bld.Add(1, 0, 2)
+	bld.Add(0, 1, 3)
+	bld.Add(1, 1, 6) // col 1 = 3 * col 0 -> rank 2
+	bld.Add(2, 2, 1)
+	m := bld.Build()
+	f := New(3)
+	err := f.Factor(m)
+	if err == nil {
+		t.Fatal("expected singularity error")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("error %v does not wrap ErrSingular", err)
+	}
+}
+
+func TestFactorZeroColumnSingular(t *testing.T) {
+	bld := sparse.NewBuilder(2, 2)
+	bld.Add(0, 0, 1)
+	m := bld.Build() // col 1 empty
+	f := New(2)
+	if err := f.Factor(m); !errors.Is(err, ErrSingular) {
+		t.Fatalf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorReusableAfterSingular(t *testing.T) {
+	f := New(2)
+	bld := sparse.NewBuilder(2, 2)
+	bld.Add(0, 0, 1)
+	if err := f.Factor(bld.Build()); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	// Now factor a good matrix with the same object.
+	if err := f.Factor(sparse.Identity(2)); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve([]float64{7, 8}, x)
+	if x[0] != 7 || x[1] != 8 {
+		t.Fatalf("reuse after failure broken: %v", x)
+	}
+}
+
+func TestSolveMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(25)
+		m := randomNonsingular(r, n, 3*n)
+		d := m.Dense()
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		want, ok := denseSolve(d, b)
+		if !ok {
+			return true // skip near-singular draws
+		}
+		f := New(n)
+		if err := f.Factor(m); err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		f.Solve(b, x)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTransposeResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		m := randomNonsingular(r, n, 2*n)
+		f := New(n)
+		if err := f.Factor(m); err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x := make([]float64, n)
+		f.SolveTranspose(b, x)
+		// Check Bᵀx = b i.e. xᵀB = bᵀ: residual via MulVecT.
+		y := make([]float64, n)
+		m.MulVecT(x, y)
+		for i := range y {
+			if math.Abs(y[i]-b[i]) > 1e-7*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAliasedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 12
+	m := randomNonsingular(rng, n, 30)
+	f := New(n)
+	if err := f.Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, n)
+	f.Solve(b, ref)
+	inPlace := append([]float64(nil), b...)
+	f.Solve(inPlace, inPlace)
+	for i := range ref {
+		if math.Abs(ref[i]-inPlace[i]) > 1e-12 {
+			t.Fatalf("aliased solve differs at %d: %v vs %v", i, inPlace[i], ref[i])
+		}
+	}
+	// Transposed, aliased.
+	f.SolveTranspose(b, ref)
+	inPlace = append(inPlace[:0], b...)
+	f.SolveTranspose(inPlace, inPlace)
+	for i := range ref {
+		if math.Abs(ref[i]-inPlace[i]) > 1e-12 {
+			t.Fatalf("aliased transpose solve differs at %d", i)
+		}
+	}
+}
+
+func TestRepeatedSolvesAreStateless(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := 15
+	m := randomNonsingular(rng, n, 40)
+	f := New(n)
+	if err := f.Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	f.Solve(b, x1)
+	f.SolveTranspose(b, x2) // interleave to try to corrupt workspace
+	x3 := make([]float64, n)
+	f.Solve(b, x3)
+	for i := range x1 {
+		if x1[i] != x3[i] {
+			t.Fatalf("solve not reproducible at %d: %v vs %v", i, x1[i], x3[i])
+		}
+	}
+}
+
+func TestRefactorReusesWorkspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := New(4)
+	for iter := 0; iter < 25; iter++ {
+		n := 1 + rng.Intn(20)
+		m := randomNonsingular(rng, n, 2*n)
+		if err := f.Factor(m); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		f.Solve(b, x)
+		if r := Residual(m, x, b); r > 1e-7 {
+			t.Fatalf("iter %d residual %g", iter, r)
+		}
+	}
+}
+
+func TestLargeSparseSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 2000
+	m := randomNonsingular(rng, n, 4*n)
+	f := New(n)
+	if err := f.Factor(m); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	f.Solve(b, x)
+	if r := Residual(m, x, b); r > 1e-6 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	f := New(2)
+	if err := f.Factor(sparse.NewBuilder(2, 3).Build()); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func BenchmarkFactor2000(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	m := randomNonsingular(rng, 2000, 8000)
+	f := New(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Factor(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve2000(b *testing.B) {
+	rng := rand.New(rand.NewSource(37))
+	n := 2000
+	m := randomNonsingular(rng, n, 8000)
+	f := New(n)
+	if err := f.Factor(m); err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Solve(rhs, x)
+	}
+}

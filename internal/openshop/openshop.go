@@ -1,0 +1,233 @@
+// Package openshop implements the concurrent open shop scheduling
+// problem and the Section 5 reduction from it to coflow scheduling,
+// which proves (2−ε)-inapproximability for both transmission models.
+//
+// In concurrent open shop there are m machines and n weighted jobs;
+// job j needs p_{ij} units of processing on machine i, machines work
+// on one job at a time, a job may be processed on several machines
+// concurrently, and the objective is total weighted completion time.
+//
+// The package provides an exact brute-force solver for small
+// instances (it is a classical fact that some priority permutation,
+// applied on every machine, is optimal), the Smith-ratio list
+// heuristic, the gadget reduction to coflow instances, and the mapping
+// of coflow schedules back to open shop schedules used in the
+// equivalence proof.
+package openshop
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/coflow"
+	"repro/internal/graph"
+	"repro/internal/schedule"
+)
+
+// Job is a concurrent open shop job.
+type Job struct {
+	ID     int
+	Weight float64
+	// Proc[i] is the processing requirement on machine i (0 = none).
+	Proc []float64
+}
+
+// Instance is a concurrent open shop instance.
+type Instance struct {
+	Machines int
+	Jobs     []Job
+}
+
+// Validate checks structural sanity.
+func (in *Instance) Validate() error {
+	if in.Machines <= 0 {
+		return errors.New("openshop: no machines")
+	}
+	if len(in.Jobs) == 0 {
+		return errors.New("openshop: no jobs")
+	}
+	for _, j := range in.Jobs {
+		if j.Weight <= 0 {
+			return fmt.Errorf("openshop: job %d has weight %g", j.ID, j.Weight)
+		}
+		if len(j.Proc) != in.Machines {
+			return fmt.Errorf("openshop: job %d has %d machine entries, want %d", j.ID, len(j.Proc), in.Machines)
+		}
+		pos := false
+		for _, p := range j.Proc {
+			if p < 0 {
+				return fmt.Errorf("openshop: job %d has negative processing", j.ID)
+			}
+			if p > 0 {
+				pos = true
+			}
+		}
+		if !pos {
+			return fmt.Errorf("openshop: job %d has no processing anywhere", j.ID)
+		}
+	}
+	return nil
+}
+
+// PermutationObjective evaluates the total weighted completion time
+// when every machine processes jobs non-preemptively in the order of
+// perm (a permutation of job indices). For a fixed priority order this
+// per-machine list schedule is optimal.
+func (in *Instance) PermutationObjective(perm []int) float64 {
+	loads := make([]float64, in.Machines)
+	var obj float64
+	for _, j := range perm {
+		job := &in.Jobs[j]
+		var c float64
+		for i, p := range job.Proc {
+			if p > 0 {
+				loads[i] += p
+				if loads[i] > c {
+					c = loads[i]
+				}
+			}
+		}
+		obj += job.Weight * c
+	}
+	return obj
+}
+
+// BruteForce returns the optimal objective and an optimal priority
+// permutation by exhaustive search. Exponential: intended for n ≤ 9.
+func (in *Instance) BruteForce() (float64, []int) {
+	n := len(in.Jobs)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	bestPerm := append([]int(nil), perm...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if v := in.PermutationObjective(perm); v < best {
+				best = v
+				copy(bestPerm, perm)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best, bestPerm
+}
+
+// SmithList is the classical heuristic: jobs ordered by total
+// processing over weight (smallest first), then list scheduled.
+func (in *Instance) SmithList() (float64, []int) {
+	order := make([]int, len(in.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := &in.Jobs[order[a]], &in.Jobs[order[b]]
+		ra := total(ja.Proc) / ja.Weight
+		rb := total(jb.Proc) / jb.Weight
+		if ra != rb {
+			return ra < rb
+		}
+		return order[a] < order[b]
+	})
+	return in.PermutationObjective(order), order
+}
+
+func total(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// ToCoflow performs the Section 5 reduction: machine i becomes an
+// isolated unit-bandwidth edge x_i → y_i, and job j becomes a coflow
+// with one flow of demand p_{ij} on every machine it uses. Weights
+// carry over. The coflow instance is valid in both transmission models
+// (each pair admits exactly one path), and paths are pre-assigned.
+func (in *Instance) ToCoflow() (*coflow.Instance, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	g := graph.Gadget(in.Machines)
+	ci := &coflow.Instance{Graph: g}
+	for _, job := range in.Jobs {
+		c := coflow.Coflow{ID: job.ID, Weight: job.Weight}
+		for i, p := range job.Proc {
+			if p <= 0 {
+				continue
+			}
+			x, y := graph.GadgetPair(g, i)
+			// The single edge out of x_i is the path.
+			path := []graph.EdgeID{g.OutEdges(x)[0]}
+			c.Flows = append(c.Flows, coflow.Flow{
+				Source: x, Sink: y, Demand: p, Path: path,
+			})
+		}
+		ci.Coflows = append(ci.Coflows, c)
+	}
+	return ci, nil
+}
+
+// FromCoflowSchedule maps a feasible coflow schedule on the reduction
+// instance back to a non-preemptive open shop schedule, as in the
+// proof of Theorem 5.1: per machine, jobs are ordered by their flow
+// completion times in the coflow schedule and re-listed
+// non-preemptively, which never increases any completion time. It
+// returns the open shop total weighted completion, which is ≤ the
+// coflow schedule's objective.
+func (in *Instance) FromCoflowSchedule(s *schedule.Schedule) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	flowCT := s.FlowCompletionTimes()
+	// machineOrder[i] = job indices using machine i, sorted by coflow
+	// flow completion time.
+	type entry struct {
+		job int
+		ct  float64
+	}
+	perMachine := make([][]entry, in.Machines)
+	for f, ref := range s.Flows {
+		// Identify the machine from the flow's source node name "x<i>".
+		src := s.Inst.FlowAt(ref).Source
+		var machine int
+		if _, err := fmt.Sscanf(s.Inst.Graph.NodeName(src), "x%d", &machine); err != nil {
+			return 0, fmt.Errorf("openshop: schedule is not on a gadget graph: node %q",
+				s.Inst.Graph.NodeName(src))
+		}
+		perMachine[machine] = append(perMachine[machine], entry{job: ref.Coflow, ct: flowCT[f]})
+	}
+	jobCompletion := make([]float64, len(in.Jobs))
+	for i := 0; i < in.Machines; i++ {
+		es := perMachine[i]
+		sort.SliceStable(es, func(a, b int) bool {
+			if es[a].ct != es[b].ct {
+				return es[a].ct < es[b].ct
+			}
+			return es[a].job < es[b].job
+		})
+		var load float64
+		for _, e := range es {
+			load += in.Jobs[e.job].Proc[i]
+			if load > jobCompletion[e.job] {
+				jobCompletion[e.job] = load
+			}
+		}
+	}
+	var obj float64
+	for j, c := range jobCompletion {
+		obj += in.Jobs[j].Weight * c
+	}
+	return obj, nil
+}

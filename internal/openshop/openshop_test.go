@@ -1,0 +1,190 @@
+package openshop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coflow"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/timegrid"
+)
+
+// randomInstance draws a small concurrent open shop instance.
+func randomInstance(r *rand.Rand, maxJobs, maxMachines int) *Instance {
+	m := 1 + r.Intn(maxMachines)
+	n := 1 + r.Intn(maxJobs)
+	in := &Instance{Machines: m}
+	for j := 0; j < n; j++ {
+		job := Job{ID: j, Weight: 1 + float64(r.Intn(9)), Proc: make([]float64, m)}
+		used := false
+		for i := 0; i < m; i++ {
+			if r.Float64() < 0.6 {
+				job.Proc[i] = float64(1 + r.Intn(5))
+				used = true
+			}
+		}
+		if !used {
+			job.Proc[r.Intn(m)] = float64(1 + r.Intn(5))
+		}
+		in.Jobs = append(in.Jobs, job)
+	}
+	return in
+}
+
+func TestValidate(t *testing.T) {
+	good := &Instance{Machines: 2, Jobs: []Job{{ID: 0, Weight: 1, Proc: []float64{1, 0}}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Instance{
+		{Machines: 0, Jobs: []Job{{Weight: 1, Proc: nil}}},
+		{Machines: 1},
+		{Machines: 1, Jobs: []Job{{Weight: 0, Proc: []float64{1}}}},
+		{Machines: 2, Jobs: []Job{{Weight: 1, Proc: []float64{1}}}},
+		{Machines: 1, Jobs: []Job{{Weight: 1, Proc: []float64{-1}}}},
+		{Machines: 1, Jobs: []Job{{Weight: 1, Proc: []float64{0}}}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPermutationObjectiveByHand(t *testing.T) {
+	// 2 machines, 2 jobs: p1=(2,1), p2=(1,2), weights 1.
+	// Order (1,2): C1 = max(2,1)=2; machine loads (3,3): C2 = 3. Obj 5.
+	in := &Instance{Machines: 2, Jobs: []Job{
+		{ID: 0, Weight: 1, Proc: []float64{2, 1}},
+		{ID: 1, Weight: 1, Proc: []float64{1, 2}},
+	}}
+	if got := in.PermutationObjective([]int{0, 1}); got != 5 {
+		t.Fatalf("obj = %v, want 5", got)
+	}
+	if got := in.PermutationObjective([]int{1, 0}); got != 5 {
+		t.Fatalf("reverse obj = %v, want 5", got)
+	}
+}
+
+func TestBruteForceAgainstExhaustiveEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 5, 3)
+		opt, perm := in.BruteForce()
+		if got := in.PermutationObjective(perm); math.Abs(got-opt) > 1e-9 {
+			t.Fatalf("returned perm evaluates to %v, claims %v", got, opt)
+		}
+		// No single swap improves (local optimality sanity).
+		for a := 0; a < len(perm); a++ {
+			for b := a + 1; b < len(perm); b++ {
+				perm[a], perm[b] = perm[b], perm[a]
+				if v := in.PermutationObjective(perm); v < opt-1e-9 {
+					t.Fatalf("swap found better value %v < %v", v, opt)
+				}
+				perm[a], perm[b] = perm[b], perm[a]
+			}
+		}
+	}
+}
+
+func TestSmithListNeverBelowOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 6, 3)
+		opt, _ := in.BruteForce()
+		smith, _ := in.SmithList()
+		// Heuristic sits between OPT and 2·OPT (Smith list is a known
+		// 2-approximation for concurrent open shop).
+		return smith >= opt-1e-9 && smith <= 2*opt+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionShapes(t *testing.T) {
+	in := &Instance{Machines: 3, Jobs: []Job{
+		{ID: 0, Weight: 2, Proc: []float64{1, 0, 4}},
+		{ID: 1, Weight: 1, Proc: []float64{0, 2, 0}},
+	}}
+	ci, err := in.ToCoflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.Coflows) != 2 {
+		t.Fatalf("coflows = %d", len(ci.Coflows))
+	}
+	if len(ci.Coflows[0].Flows) != 2 || len(ci.Coflows[1].Flows) != 1 {
+		t.Fatalf("flow counts wrong: %d, %d", len(ci.Coflows[0].Flows), len(ci.Coflows[1].Flows))
+	}
+	if err := ci.Validate(coflow.SinglePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Validate(coflow.FreePath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem51EndToEnd(t *testing.T) {
+	// The full Section 5 pipeline: reduce, schedule with the paper's
+	// algorithm, map back. Invariants (both directions of the proof):
+	//   openshopOPT ≤ mapped-back value ≤ coflow schedule objective
+	//   LP bound ≤ openshopOPT (reduction preserves optima).
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		in := randomInstance(rng, 4, 3)
+		opt, _ := in.BruteForce()
+		ci, err := in.ToCoflow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid := core.DefaultGrid(ci, coflow.SinglePath, 64)
+		res, err := core.Run(ci, coflow.SinglePath, 0, nil, core.Options{Grid: grid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := in.FromCoflowSchedule(res.Heuristic.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped > res.Heuristic.Weighted+1e-6 {
+			t.Fatalf("trial %d: mapped open-shop value %v exceeds coflow objective %v",
+				trial, mapped, res.Heuristic.Weighted)
+		}
+		if mapped < opt-1e-6 {
+			t.Fatalf("trial %d: mapped value %v beats the open-shop optimum %v", trial, mapped, opt)
+		}
+		if res.LowerBound > opt+1e-6 {
+			t.Fatalf("trial %d: coflow LP bound %v exceeds open-shop optimum %v",
+				trial, res.LowerBound, opt)
+		}
+		// Empirical approximation factor of the whole pipeline stays
+		// within the theory (2×) plus slack for slot quantization.
+		if res.Heuristic.Weighted > 2.5*opt+1e-6 {
+			t.Fatalf("trial %d: heuristic %v far above 2×OPT (%v)", trial, res.Heuristic.Weighted, 2*opt)
+		}
+	}
+}
+
+func TestFromCoflowScheduleRejectsWrongGraph(t *testing.T) {
+	in := &Instance{Machines: 1, Jobs: []Job{{ID: 0, Weight: 1, Proc: []float64{2}}}}
+	// Build a schedule whose graph is NOT a gadget (node names v0, v1).
+	g := graph.Line(2, 1)
+	ci := &coflow.Instance{Graph: g, Coflows: []coflow.Coflow{{
+		ID: 0, Weight: 1,
+		Flows: []coflow.Flow{{Source: g.MustNode("v0"), Sink: g.MustNode("v1"),
+			Demand: 2, Path: []graph.EdgeID{0}}},
+	}}}
+	res, err := core.Run(ci, coflow.SinglePath, 0, nil,
+		core.Options{Grid: timegrid.Uniform(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.FromCoflowSchedule(res.Heuristic.Schedule); err == nil {
+		t.Fatal("expected error for non-gadget schedule")
+	}
+}

@@ -1,0 +1,87 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/coflow"
+)
+
+// Utilization returns the per-slot, per-edge link utilization of the
+// schedule as a fraction of capacity: out[k][e] ∈ [0, 1+tol]. It is
+// the quantity operators watch on a WAN and the basis of the timeline
+// export below.
+func (s *Schedule) Utilization() [][]float64 {
+	g := s.Inst.Graph
+	k := s.Grid.NumSlots()
+	out := make([][]float64, k)
+	for t := 0; t < k; t++ {
+		load := make([]float64, g.NumEdges())
+		for f, ref := range s.Flows {
+			fl := s.Inst.FlowAt(ref)
+			switch s.Mode {
+			case coflow.SinglePath:
+				for _, eid := range fl.Path {
+					load[eid] += fl.Demand * s.Frac[f][t]
+				}
+			case coflow.MultiPath:
+				for pi, v := range s.PathFrac[f][t] {
+					if v <= 0 {
+						continue
+					}
+					for _, eid := range fl.AltPaths[pi] {
+						load[eid] += fl.Demand * v
+					}
+				}
+			case coflow.FreePath:
+				for e, v := range s.EdgeFrac[f][t] {
+					load[e] += fl.Demand * v
+				}
+			}
+		}
+		for _, e := range g.Edges() {
+			load[e.ID] /= e.Capacity * s.Grid.Len(t)
+		}
+		out[t] = load
+	}
+	return out
+}
+
+// WriteTimelineCSV exports the schedule as CSV rows
+// (slot, start, end, edge, from, to, utilization), one row per active
+// (slot, edge) pair, for plotting link usage over time.
+func (s *Schedule) WriteTimelineCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "slot,start,end,edge,from,to,utilization"); err != nil {
+		return err
+	}
+	g := s.Inst.Graph
+	util := s.Utilization()
+	for t := range util {
+		for _, e := range g.Edges() {
+			u := util[t][e.ID]
+			if u <= eps {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%d,%g,%g,%d,%s,%s,%.6f\n",
+				t, s.Grid.Start(t), s.Grid.End(t), e.ID,
+				g.NodeName(e.From), g.NodeName(e.To), u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PeakUtilization returns the maximum link utilization over all slots
+// and edges (≤ 1 + tolerance for any feasible schedule).
+func (s *Schedule) PeakUtilization() float64 {
+	var peak float64
+	for _, row := range s.Utilization() {
+		for _, u := range row {
+			if u > peak {
+				peak = u
+			}
+		}
+	}
+	return peak
+}

@@ -1,0 +1,61 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/coflow"
+)
+
+func TestUtilizationWithinCapacity(t *testing.T) {
+	for _, mode := range []coflow.Model{coflow.SinglePath, coflow.FreePath} {
+		s := FromLP(figure2LP(t, mode, 6))
+		if peak := s.PeakUtilization(); peak > 1+1e-6 {
+			t.Fatalf("%v: peak utilization %v > 1", mode, peak)
+		}
+		// Something must actually be scheduled.
+		if peak := s.PeakUtilization(); peak <= 0 {
+			t.Fatalf("%v: peak utilization %v, want > 0", mode, peak)
+		}
+	}
+	// Multi path too.
+	s := FromLP(multiPathLP(t, 6, 3))
+	if peak := s.PeakUtilization(); peak > 1+1e-6 || peak <= 0 {
+		t.Fatalf("multi path peak %v", peak)
+	}
+}
+
+func TestUtilizationMatchesKnownSchedule(t *testing.T) {
+	// The line instance with demand 2 over 2 slots saturates its edge
+	// in both active slots.
+	sol := lineLP(t, 2, 0, 4)
+	s := FromLP(sol)
+	util := s.Utilization()
+	if util[0][0] < 1-1e-9 || util[1][0] < 1-1e-9 {
+		t.Fatalf("active slots not saturated: %v %v", util[0][0], util[1][0])
+	}
+	if util[2][0] > eps || util[3][0] > eps {
+		t.Fatalf("idle slots show load: %v %v", util[2][0], util[3][0])
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	s := FromLP(figure2LP(t, coflow.SinglePath, 6))
+	var buf bytes.Buffer
+	if err := s.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "slot,start,end,edge,from,to,utilization" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 4 {
+		t.Fatalf("only %d rows, expected several active (slot, edge) pairs", len(lines)-1)
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 6 {
+			t.Fatalf("row %q has %d commas, want 6", line, got)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lu"
+	"repro/internal/sparse"
+)
+
+// basis maintains the basis matrix factorization for the revised
+// simplex method: an LU factorization of the basis at the last
+// refactorization plus a product-form (PFI) eta file for the pivots
+// performed since.
+type basis struct {
+	m   int
+	lu  *lu.Factorization
+	mat *sparse.Matrix // basis matrix at last refactorization (diagnostics)
+
+	// Eta file. Eta k replaces column etaRow[k] of the basis with the
+	// FTran'd entering column stored in etaIdx/etaVal[etaPtr[k]:etaPtr[k+1]].
+	etaPtr []int
+	etaRow []int
+	etaIdx []int
+	etaVal []float64
+
+	work []float64 // scratch for building columns
+}
+
+func newBasis(m int) *basis {
+	return &basis{
+		m:      m,
+		lu:     lu.New(m),
+		etaPtr: []int{0},
+		work:   make([]float64, m),
+	}
+}
+
+// etaCount reports the number of eta updates since the last refactorization.
+func (b *basis) etaCount() int { return len(b.etaRow) }
+
+// etaNnz reports the total stored eta nonzeros.
+func (b *basis) etaNnz() int { return len(b.etaIdx) }
+
+// refactor rebuilds the LU factorization from the given basis columns.
+// colOf must append the column of the constraint matrix for variable v
+// into the provided builder at basis position r.
+func (b *basis) refactor(cols *sparse.Matrix) error {
+	if err := b.lu.Factor(cols); err != nil {
+		return fmt.Errorf("simplex: basis refactorization failed: %w", err)
+	}
+	b.mat = cols
+	b.etaPtr = b.etaPtr[:1]
+	b.etaRow = b.etaRow[:0]
+	b.etaIdx = b.etaIdx[:0]
+	b.etaVal = b.etaVal[:0]
+	return nil
+}
+
+// pushEta records a pivot that replaced basis position r with the
+// FTran'd entering column w (dense, length m). Entries below dropTol
+// are not stored, except w[r] which is always kept.
+func (b *basis) pushEta(r int, w []float64, dropTol float64) {
+	for i, v := range w {
+		if i == r || math.Abs(v) > dropTol {
+			if v == 0 && i != r {
+				continue
+			}
+			b.etaIdx = append(b.etaIdx, i)
+			b.etaVal = append(b.etaVal, v)
+		}
+	}
+	b.etaRow = append(b.etaRow, r)
+	b.etaPtr = append(b.etaPtr, len(b.etaIdx))
+}
+
+// ftran solves B·x = v in place (v is overwritten with the solution).
+func (b *basis) ftran(v []float64) {
+	b.lu.Solve(v, v)
+	for k := 0; k < len(b.etaRow); k++ {
+		r := b.etaRow[k]
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		lo, hi := b.etaPtr[k], b.etaPtr[k+1]
+		// Find w_r first.
+		var wr float64
+		for t := lo; t < hi; t++ {
+			if b.etaIdx[t] == r {
+				wr = b.etaVal[t]
+				break
+			}
+		}
+		zr := vr / wr
+		for t := lo; t < hi; t++ {
+			i := b.etaIdx[t]
+			if i == r {
+				continue
+			}
+			v[i] -= b.etaVal[t] * zr
+		}
+		v[r] = zr
+	}
+}
+
+// btran solves Bᵀ·y = v in place (v is overwritten with the solution).
+func (b *basis) btran(v []float64) {
+	for k := len(b.etaRow) - 1; k >= 0; k-- {
+		r := b.etaRow[k]
+		lo, hi := b.etaPtr[k], b.etaPtr[k+1]
+		var dot float64
+		var wr float64
+		for t := lo; t < hi; t++ {
+			i := b.etaIdx[t]
+			if i == r {
+				wr = b.etaVal[t]
+				continue
+			}
+			dot += b.etaVal[t] * v[i]
+		}
+		v[r] = (v[r] - dot) / wr
+	}
+	b.lu.SolveTranspose(v, v)
+}

@@ -1,0 +1,830 @@
+// Package simplex implements a bounded-variable revised primal simplex
+// method for linear programs in standard computational form:
+//
+//	minimize    c·x
+//	subject to  A·x = b,   l ≤ x ≤ u
+//
+// with infinite bounds allowed. It is the replacement for the
+// commercial LP solver (Gurobi) used in the paper's experiments: it
+// produces optimal basic solutions together with dual values and
+// reduced costs, so optimality can be certified externally through the
+// KKT conditions.
+//
+// The implementation uses the classical two-phase method with
+// artificial variables, a sparse LU basis factorization
+// (internal/lu) refreshed periodically, product-form eta updates in
+// between, rotating partial pricing with a Bland's-rule fallback for
+// anti-cycling, and a Harris-style two-pass ratio test.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lu"
+	"repro/internal/sparse"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means phase 1 terminated with positive infeasibility.
+	Infeasible
+	// Unbounded means the objective is unbounded below.
+	Unbounded
+	// IterLimit means the iteration budget was exhausted.
+	IterLimit
+)
+
+// String renders the status for logs and errors.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program in standard computational form.
+type Problem struct {
+	A *sparse.Matrix // m×n constraint matrix
+	B []float64      // length m right-hand side
+	C []float64      // length n objective
+	L []float64      // length n lower bounds (may be -Inf)
+	U []float64      // length n upper bounds (may be +Inf)
+}
+
+// Validate checks dimensional consistency and bound sanity.
+func (p *Problem) Validate() error {
+	if p.A == nil {
+		return errors.New("simplex: nil constraint matrix")
+	}
+	m, n := p.A.Rows, p.A.Cols
+	if len(p.B) != m {
+		return fmt.Errorf("simplex: len(B)=%d, want %d", len(p.B), m)
+	}
+	if len(p.C) != n || len(p.L) != n || len(p.U) != n {
+		return fmt.Errorf("simplex: C/L/U lengths (%d,%d,%d), want %d",
+			len(p.C), len(p.L), len(p.U), n)
+	}
+	for j := 0; j < n; j++ {
+		if p.L[j] > p.U[j] {
+			return fmt.Errorf("simplex: variable %d has L=%g > U=%g", j, p.L[j], p.U[j])
+		}
+		if math.IsNaN(p.L[j]) || math.IsNaN(p.U[j]) || math.IsNaN(p.C[j]) {
+			return fmt.Errorf("simplex: variable %d has NaN data", j)
+		}
+	}
+	return nil
+}
+
+// Options tune the solver. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIter bounds total simplex iterations (both phases).
+	// Default: 200*(m+n)+10000.
+	MaxIter int
+	// Tol is the primal feasibility / dual optimality tolerance.
+	// Default 1e-7.
+	Tol float64
+	// RefactorEvery is the pivot count between basis refactorizations.
+	// Default 120.
+	RefactorEvery int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200*(m+n) + 10000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.RefactorEvery == 0 {
+		o.RefactorEvery = 120
+	}
+	return o
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	Obj        float64   // c·x at termination
+	X          []float64 // length n primal values
+	Y          []float64 // length m duals (row multipliers)
+	D          []float64 // length n reduced costs c − Aᵀy
+	Iterations int       // total simplex iterations (both phases)
+}
+
+// variable states
+const (
+	stBasic int8 = iota
+	stLower
+	stUpper
+	stFree // nonbasic at value 0, both bounds infinite
+)
+
+type solver struct {
+	prob Problem
+	opt  Options
+
+	m, n  int // rows, structural columns
+	total int // n + m (artificials appended)
+
+	cost    []float64 // current phase costs, length total
+	state   []int8    // length total
+	basisOf []int     // per row: variable index basic there
+	inRow   []int     // per variable: row if basic, else -1
+	xB      []float64 // length m, values of basic variables
+	artSign []float64 // length m, artificial column signs (±1)
+
+	bas *basis
+
+	// dense work vectors, length m
+	y   []float64
+	w   []float64
+	v2  []float64
+	rho []float64 // pivot row B⁻ᵀe_r for Devex / reduced-cost updates
+
+	wIdx []int // nonzero positions of w after ftran
+
+	// Reduced costs maintained incrementally across pivots and Devex
+	// reference weights, both length total.
+	d  []float64
+	dw []float64
+
+	bland       bool    // Bland's rule anti-cycling mode
+	artFixed    bool    // artificial upper bounds pinned to 0 (phase 2)
+	minPiv      float64 // smallest acceptable ratio-test pivot magnitude
+	degenStreak int
+	pivots      int // pivots since last refactorization
+	iters       int
+}
+
+// Solve minimizes the problem. An error is returned only for malformed
+// input or unrecoverable numerical failure; infeasibility, unboundedness
+// and iteration exhaustion are reported through Solution.Status.
+//
+// A solve that drives the basis numerically singular (rare: a chain of
+// small ratio-test pivots) is retried once with a stricter pivot
+// threshold and more frequent refactorization before the error is
+// surfaced.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	sol, err := solveOnce(p, opt, 1e-9)
+	if err != nil && errors.Is(err, lu.ErrSingular) {
+		strict := opt
+		if strict.RefactorEvery == 0 || strict.RefactorEvery > 40 {
+			strict.RefactorEvery = 40
+		}
+		return solveOnce(p, strict, 1e-6)
+	}
+	return sol, err
+}
+
+func solveOnce(p *Problem, opt Options, minPiv float64) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := p.A.Rows, p.A.Cols
+	s := &solver{
+		prob:    *p,
+		opt:     opt.withDefaults(m, n),
+		m:       m,
+		n:       n,
+		total:   n + m,
+		cost:    make([]float64, n+m),
+		state:   make([]int8, n+m),
+		basisOf: make([]int, m),
+		inRow:   make([]int, n+m),
+		xB:      make([]float64, m),
+		artSign: make([]float64, m),
+		bas:     newBasis(m),
+		y:       make([]float64, m),
+		w:       make([]float64, m),
+		v2:      make([]float64, m),
+		rho:     make([]float64, m),
+		d:       make([]float64, n+m),
+		dw:      make([]float64, n+m),
+		wIdx:    make([]int, 0, m),
+		minPiv:  minPiv,
+	}
+	return s.run()
+}
+
+// value returns the current value of a nonbasic variable.
+func (s *solver) value(j int) float64 {
+	switch s.state[j] {
+	case stLower:
+		return s.lb(j)
+	case stUpper:
+		return s.ub(j)
+	default:
+		return 0
+	}
+}
+
+func (s *solver) lb(j int) float64 {
+	if j < s.n {
+		return s.prob.L[j]
+	}
+	return 0 // artificial
+}
+
+func (s *solver) ub(j int) float64 {
+	if j < s.n {
+		return s.prob.U[j]
+	}
+	if s.artFixed {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// scatterCol writes column j of the extended matrix [A | artificials]
+// into dense w and records the nonzero index list in wIdx.
+func (s *solver) scatterCol(j int, w []float64) {
+	if j < s.n {
+		idx, val := s.prob.A.Col(j)
+		for k, i := range idx {
+			w[i] += val[k]
+		}
+	} else {
+		w[j-s.n] += s.artSign[j-s.n]
+	}
+}
+
+// colDot returns column j of the extended matrix dotted with y.
+func (s *solver) colDot(j int, y []float64) float64 {
+	if j < s.n {
+		return s.prob.A.ColDot(j, y)
+	}
+	return s.artSign[j-s.n] * y[j-s.n]
+}
+
+func (s *solver) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+func (s *solver) run() (*Solution, error) {
+	s.initBasis()
+
+	// Phase 1: minimize the sum of artificial variables.
+	for i := 0; i < s.m; i++ {
+		s.cost[s.n+i] = 1
+	}
+	status, err := s.iterate(1)
+	if err != nil {
+		return nil, err
+	}
+	if status == IterLimit {
+		return s.finish(IterLimit), nil
+	}
+	infeas := 0.0
+	for i := 0; i < s.m; i++ {
+		if v := s.basicValueOf(s.n + i); v > 0 {
+			infeas += v
+		}
+	}
+	scale := 1 + sparse.InfNorm(s.prob.B)
+	if infeas > s.opt.Tol*scale*10 {
+		s.logf("phase 1 infeasible: residual %g", infeas)
+		return s.finish(Infeasible), nil
+	}
+
+	// Phase 2: real costs; artificials pinned to zero.
+	s.artFixed = true
+	for i := 0; i < s.m; i++ {
+		s.cost[s.n+i] = 0
+		j := s.n + i
+		if s.state[j] == stUpper || s.state[j] == stFree {
+			s.state[j] = stLower
+		}
+	}
+	copy(s.cost[:s.n], s.prob.C)
+	s.bland = false
+	s.degenStreak = 0
+	status, err = s.iterate(2)
+	if err != nil {
+		return nil, err
+	}
+	return s.finish(status), nil
+}
+
+// basicValueOf returns the value of variable j if basic, else its
+// nonbasic value.
+func (s *solver) basicValueOf(j int) float64 {
+	if r := s.inRow[j]; r >= 0 {
+		return s.xB[r]
+	}
+	return s.value(j)
+}
+
+// initBasis places structural variables on their nearest finite bound
+// (or zero for free variables) and installs an artificial basis that
+// absorbs the residual.
+func (s *solver) initBasis() {
+	for j := 0; j < s.n; j++ {
+		s.inRow[j] = -1
+		l, u := s.prob.L[j], s.prob.U[j]
+		switch {
+		case math.IsInf(l, -1) && math.IsInf(u, 1):
+			s.state[j] = stFree
+		case math.IsInf(l, -1):
+			s.state[j] = stUpper
+		case math.IsInf(u, 1):
+			s.state[j] = stLower
+		case math.Abs(l) <= math.Abs(u):
+			s.state[j] = stLower
+		default:
+			s.state[j] = stUpper
+		}
+	}
+	// Residual r = b − A·x_N.
+	r := s.v2
+	copy(r, s.prob.B)
+	for j := 0; j < s.n; j++ {
+		if v := s.value(j); v != 0 {
+			idx, val := s.prob.A.Col(j)
+			for k, i := range idx {
+				r[i] -= val[k] * v
+			}
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		sign := 1.0
+		if r[i] < 0 {
+			sign = -1
+		}
+		s.artSign[i] = sign
+		j := s.n + i
+		s.state[j] = stBasic
+		s.inRow[j] = i
+		s.basisOf[i] = j
+		s.xB[i] = sign * r[i] // = |r_i| ≥ 0
+	}
+	if err := s.refactor(); err != nil {
+		// The artificial basis is ±identity; this cannot fail.
+		panic(err)
+	}
+}
+
+// refactor rebuilds the LU factorization from the current basis and
+// recomputes xB from scratch to shed accumulated roundoff.
+func (s *solver) refactor() error {
+	bld := sparse.NewBuilder(s.m, s.m)
+	for rpos := 0; rpos < s.m; rpos++ {
+		j := s.basisOf[rpos]
+		if j < s.n {
+			idx, val := s.prob.A.Col(j)
+			for k, i := range idx {
+				bld.Add(i, rpos, val[k])
+			}
+		} else {
+			bld.Add(j-s.n, rpos, s.artSign[j-s.n])
+		}
+	}
+	if err := s.bas.refactor(bld.Build()); err != nil {
+		return err
+	}
+	// xB = B⁻¹ (b − Σ_nonbasic a_j v_j)
+	r := s.v2
+	copy(r, s.prob.B)
+	for j := 0; j < s.total; j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		if v := s.value(j); v != 0 {
+			if j < s.n {
+				idx, val := s.prob.A.Col(j)
+				for k, i := range idx {
+					r[i] -= val[k] * v
+				}
+			} else {
+				r[j-s.n] -= s.artSign[j-s.n] * v
+			}
+		}
+	}
+	s.bas.ftran(r)
+	copy(s.xB, r)
+	for i := range r {
+		r[i] = 0
+	}
+	s.pivots = 0
+	return nil
+}
+
+// computeDuals fills s.y with B⁻ᵀ c_B.
+func (s *solver) computeDuals() {
+	for i := 0; i < s.m; i++ {
+		s.y[i] = s.cost[s.basisOf[i]]
+	}
+	s.bas.btran(s.y)
+}
+
+// recomputeReducedCosts refreshes the incrementally-maintained reduced
+// costs from scratch (one BTran plus one pass over the matrix). Called
+// at phase starts and after refactorizations to shed drift.
+func (s *solver) recomputeReducedCosts() {
+	s.computeDuals()
+	for j := 0; j < s.total; j++ {
+		if s.state[j] == stBasic {
+			s.d[j] = 0
+			continue
+		}
+		s.d[j] = s.cost[j] - s.colDot(j, s.y)
+	}
+}
+
+// resetDevex restores the Devex reference framework.
+func (s *solver) resetDevex() {
+	for j := range s.dw {
+		s.dw[j] = 1
+	}
+}
+
+// eligible reports whether nonbasic variable j can improve the
+// objective, and in which direction (+1 increase, −1 decrease).
+func (s *solver) eligible(j int) (dir float64, ok bool) {
+	d := s.d[j]
+	tol := s.opt.Tol
+	switch s.state[j] {
+	case stLower:
+		if s.lb(j) == s.ub(j) {
+			return 0, false // fixed
+		}
+		if d < -tol {
+			return 1, true
+		}
+	case stUpper:
+		if d > tol {
+			return -1, true
+		}
+	case stFree:
+		if d < -tol {
+			return 1, true
+		}
+		if d > tol {
+			return -1, true
+		}
+	}
+	return 0, false
+}
+
+// price selects an entering variable using Devex pricing (d_j²/w_j),
+// or Bland's smallest-index rule in anti-cycling mode. Returns -1 when
+// the basis is optimal for the current costs.
+func (s *solver) price() (jEnter int, dir float64) {
+	if s.bland {
+		for j := 0; j < s.total; j++ {
+			if s.state[j] == stBasic {
+				continue
+			}
+			if dr, ok := s.eligible(j); ok {
+				return j, dr
+			}
+		}
+		return -1, 0
+	}
+	best, bestScore, bestDir := -1, 0.0, 0.0
+	for j := 0; j < s.total; j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		dr, ok := s.eligible(j)
+		if !ok {
+			continue
+		}
+		dj := s.d[j]
+		score := dj * dj / s.dw[j]
+		if score > bestScore {
+			best, bestScore, bestDir = j, score, dr
+		}
+	}
+	return best, bestDir
+}
+
+// updatePricingAfterPivot maintains the reduced costs and Devex
+// weights across a basis change: entering variable q replaced the
+// basic variable at row r with pivot element alpha = (B⁻¹a_q)_r.
+// It computes the pivot row ρ = B⁻ᵀe_r and sweeps the nonbasic
+// columns once.
+func (s *solver) updatePricingAfterPivot(q, r int, alpha float64, leaving int) {
+	for i := range s.rho {
+		s.rho[i] = 0
+	}
+	s.rho[r] = 1
+	s.bas.btran(s.rho)
+
+	dq := s.d[q]
+	wq := s.dw[q]
+	ratio := dq / alpha
+	gamma := wq / (alpha * alpha)
+	maxW := 1.0
+	for j := 0; j < s.total; j++ {
+		if s.state[j] == stBasic || j == q {
+			continue
+		}
+		arj := s.colDot(j, s.rho)
+		if arj != 0 {
+			s.d[j] -= ratio * arj
+			if w := arj * arj * gamma; w > s.dw[j] {
+				s.dw[j] = w
+			}
+		}
+		if s.dw[j] > maxW {
+			maxW = s.dw[j]
+		}
+	}
+	// The leaving variable becomes nonbasic with reduced cost −d_q/α.
+	s.d[leaving] = -ratio
+	s.dw[leaving] = math.Max(gamma, 1)
+	s.d[q] = 0
+	if maxW > 1e10 {
+		s.resetDevex()
+	}
+}
+
+// ratioResult describes the outcome of the ratio test.
+type ratioResult struct {
+	t         float64 // step length
+	leaveRow  int     // basis row leaving, or -1 for a bound flip
+	leaveAt   int8    // stLower or stUpper for the leaving variable
+	unbounded bool
+}
+
+// ratioTest computes the maximum step for entering variable j moving
+// in direction dir with FTran'd column w (nonzeros listed in wIdx).
+func (s *solver) ratioTest(j int, dir float64, w []float64, wIdx []int) ratioResult {
+	tol := s.opt.Tol
+	pivTol := s.minPiv
+	stepLimit := math.Inf(1)
+	if l, u := s.lb(j), s.ub(j); !math.IsInf(l, -1) && !math.IsInf(u, 1) {
+		stepLimit = u - l
+	}
+
+	// Pass 1: relaxed minimum ratio (bounds expanded by tol).
+	tMax := stepLimit
+	for _, i := range wIdx {
+		wi := w[i]
+		if math.Abs(wi) <= pivTol {
+			continue
+		}
+		delta := -dir * wi // d(xB_i)/dt
+		bi := s.basisOf[i]
+		if delta < 0 {
+			if l := s.lb(bi); !math.IsInf(l, -1) {
+				if t := (s.xB[i] - (l - tol)) / -delta; t < tMax {
+					tMax = t
+				}
+			}
+		} else {
+			if u := s.ub(bi); !math.IsInf(u, 1) {
+				if t := ((u + tol) - s.xB[i]) / delta; t < tMax {
+					tMax = t
+				}
+			}
+		}
+	}
+	if math.IsInf(tMax, 1) {
+		return ratioResult{unbounded: true}
+	}
+
+	// Pass 2: among rows whose exact ratio is ≤ tMax, pick the largest
+	// pivot magnitude for numerical stability.
+	bestRow := -1
+	var bestPiv, bestT float64
+	var bestAt int8
+	for _, i := range wIdx {
+		wi := w[i]
+		if math.Abs(wi) <= pivTol {
+			continue
+		}
+		delta := -dir * wi
+		bi := s.basisOf[i]
+		var t float64
+		var at int8
+		if delta < 0 {
+			l := s.lb(bi)
+			if math.IsInf(l, -1) {
+				continue
+			}
+			t = (s.xB[i] - l) / -delta
+			at = stLower
+		} else {
+			u := s.ub(bi)
+			if math.IsInf(u, 1) {
+				continue
+			}
+			t = (u - s.xB[i]) / delta
+			at = stUpper
+		}
+		if t <= tMax {
+			if p := math.Abs(wi); p > bestPiv {
+				bestPiv, bestRow, bestT, bestAt = p, i, t, at
+			}
+		}
+	}
+	if bestRow < 0 || stepLimit <= bestT {
+		// Bound flip: the entering variable runs to its other bound first.
+		return ratioResult{t: stepLimit, leaveRow: -1}
+	}
+	if bestT < 0 {
+		bestT = 0
+	}
+	return ratioResult{t: bestT, leaveRow: bestRow, leaveAt: bestAt}
+}
+
+// iterate runs simplex iterations for the current cost vector until
+// optimality, unboundedness, or the iteration limit. Reduced costs are
+// maintained incrementally (updated from the pivot row each basis
+// change) and refreshed from scratch after refactorizations; Devex
+// weights guide the entering choice.
+func (s *solver) iterate(phase int) (Status, error) {
+	degenLimit := 2*s.m + 200
+	s.recomputeReducedCosts()
+	s.resetDevex()
+	verifiedOptimal := false
+	for {
+		if s.iters >= s.opt.MaxIter {
+			return IterLimit, nil
+		}
+		j, dir := s.price()
+		if j < 0 {
+			if !verifiedOptimal {
+				// Guard against reduced-cost drift: refresh and re-price
+				// once before declaring optimality.
+				s.recomputeReducedCosts()
+				verifiedOptimal = true
+				continue
+			}
+			s.bland = false
+			return Optimal, nil
+		}
+		verifiedOptimal = false
+
+		// FTran the entering column.
+		for i := range s.w {
+			s.w[i] = 0
+		}
+		s.scatterCol(j, s.w)
+		s.bas.ftran(s.w)
+		s.wIdx = s.wIdx[:0]
+		for i, v := range s.w {
+			if v != 0 {
+				s.wIdx = append(s.wIdx, i)
+			}
+		}
+
+		// Exact reduced cost of the entering column (c_j − c_B·B⁻¹a_j):
+		// cheap given the FTran'd column, and it corrects any drift in
+		// the stored value before we commit to the pivot.
+		dq := s.cost[j]
+		for _, i := range s.wIdx {
+			dq -= s.cost[s.basisOf[i]] * s.w[i]
+		}
+		s.d[j] = dq
+		if _, ok := s.eligible(j); !ok {
+			// The stored reduced cost was stale; the entry is now
+			// corrected, so re-price.
+			continue
+		}
+
+		res := s.ratioTest(j, dir, s.w, s.wIdx)
+		if res.unbounded {
+			if phase == 1 {
+				// Phase-1 objective is bounded below by zero; an
+				// unbounded ray indicates numerical trouble.
+				return IterLimit, fmt.Errorf("simplex: phase 1 claims unbounded (numerical failure)")
+			}
+			return Unbounded, nil
+		}
+		s.iters++
+
+		if res.t <= s.opt.Tol {
+			s.degenStreak++
+			if s.degenStreak > degenLimit && !s.bland {
+				s.logf("degenerate streak %d at iter %d: enabling Bland's rule", s.degenStreak, s.iters)
+				s.bland = true
+			}
+		} else {
+			s.degenStreak = 0
+			if s.bland {
+				s.bland = false
+			}
+		}
+
+		if res.leaveRow < 0 {
+			// Bound flip: no basis change, reduced costs unchanged.
+			t := res.t
+			for _, i := range s.wIdx {
+				s.xB[i] -= dir * s.w[i] * t
+			}
+			if s.state[j] == stLower {
+				s.state[j] = stUpper
+			} else {
+				s.state[j] = stLower
+			}
+			continue
+		}
+
+		r := res.leaveRow
+		if math.Abs(s.w[r]) < 1e-9 && s.bas.etaCount() > 0 {
+			// Pivot too small on a stale factorization: refresh and retry.
+			if err := s.refactor(); err != nil {
+				return IterLimit, err
+			}
+			s.recomputeReducedCosts()
+			s.iters-- // retry does not consume budget
+			continue
+		}
+		leaving := s.basisOf[r]
+
+		// Maintain pricing state across the basis change (needs the
+		// pre-pivot factorization, so this comes before pushEta).
+		s.updatePricingAfterPivot(j, r, s.w[r], leaving)
+
+		// Apply the step to the basic values.
+		t := res.t
+		for _, i := range s.wIdx {
+			s.xB[i] -= dir * s.w[i] * t
+		}
+		// Entering variable's new value.
+		var enterVal float64
+		switch s.state[j] {
+		case stLower:
+			enterVal = s.lb(j) + t
+		case stUpper:
+			enterVal = s.ub(j) - t
+		default: // free
+			enterVal = dir * t
+		}
+		s.state[leaving] = res.leaveAt
+		if s.lb(leaving) == s.ub(leaving) {
+			s.state[leaving] = stLower
+		}
+		s.inRow[leaving] = -1
+		s.basisOf[r] = j
+		s.inRow[j] = r
+		s.state[j] = stBasic
+		s.xB[r] = enterVal
+
+		s.bas.pushEta(r, s.w, 1e-12)
+		s.pivots++
+		if s.pivots >= s.opt.RefactorEvery || s.bas.etaNnz() > 40*s.m {
+			if err := s.refactor(); err != nil {
+				return IterLimit, err
+			}
+			s.recomputeReducedCosts()
+		}
+	}
+}
+
+// finish assembles the Solution, refreshing the factorization so the
+// reported primal/dual values are clean.
+func (s *solver) finish(status Status) *Solution {
+	if err := s.refactor(); err != nil {
+		s.logf("final refactor failed: %v", err)
+	}
+	sol := &Solution{
+		Status:     status,
+		X:          make([]float64, s.n),
+		Y:          make([]float64, s.m),
+		D:          make([]float64, s.n),
+		Iterations: s.iters,
+	}
+	for j := 0; j < s.n; j++ {
+		v := s.basicValueOf(j)
+		// Snap within bounds to shed roundoff.
+		if l := s.prob.L[j]; v < l {
+			if l-v < 1e-6 {
+				v = l
+			}
+		}
+		if u := s.prob.U[j]; v > u {
+			if v-u < 1e-6 {
+				v = u
+			}
+		}
+		sol.X[j] = v
+		sol.Obj += s.prob.C[j] * v
+	}
+	s.computeDuals()
+	copy(sol.Y, s.y)
+	for j := 0; j < s.n; j++ {
+		sol.D[j] = s.prob.C[j] - s.prob.A.ColDot(j, s.y)
+	}
+	return sol
+}

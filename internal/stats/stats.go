@@ -1,0 +1,63 @@
+// Package stats provides the small statistical utilities the
+// experiment harnesses need: summaries and deterministic sub-seeding.
+package stats
+
+import (
+	"math"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Sum       float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// SubSeed derives a deterministic child seed from a parent seed and a
+// stream label, so independent generators can be split reproducibly
+// (splitmix64-style finalizer).
+func SubSeed(parent int64, stream uint64) int64 {
+	z := uint64(parent) + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Ratio returns a/b, or +Inf when b is zero (used for speedup tables).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coflow"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func TestGenerateAllKindsValid(t *testing.T) {
+	g := graph.SWAN(1)
+	for _, kind := range Kinds {
+		in, err := Generate(Config{
+			Kind: kind, Graph: g, NumCoflows: 20, Seed: 1,
+			MeanInterarrival: 1.5, AssignPaths: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(in.Coflows) != 20 {
+			t.Fatalf("%v: %d coflows", kind, len(in.Coflows))
+		}
+		if err := in.Validate(coflow.SinglePath); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := in.Validate(coflow.FreePath); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		// Weights in [1, 100].
+		for _, c := range in.Coflows {
+			if c.Weight < 1 || c.Weight > 100 {
+				t.Fatalf("%v: weight %v out of range", kind, c.Weight)
+			}
+			// Releases snapped to slot boundaries.
+			if c.Release != math.Floor(c.Release) {
+				t.Fatalf("%v: release %v not slot-aligned", kind, c.Release)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := graph.GScale(1)
+	cfg := Config{Kind: FB, Graph: g, NumCoflows: 15, Seed: 99, MeanInterarrival: 2}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumFlows() != b.NumFlows() || a.TotalDemand() != b.TotalDemand() {
+		t.Fatal("same seed produced different instances")
+	}
+	for j := range a.Coflows {
+		if a.Coflows[j].Weight != b.Coflows[j].Weight || a.Coflows[j].Release != b.Coflows[j].Release {
+			t.Fatal("same seed produced different coflows")
+		}
+	}
+	cfg.Seed = 100
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalDemand() == c.TotalDemand() {
+		t.Fatal("different seeds produced identical demand totals (suspicious)")
+	}
+}
+
+func TestKindsDifferInShape(t *testing.T) {
+	// FB must be more skewed than TPC-H: higher max/mean demand ratio
+	// over a sizable sample.
+	g := graph.SWAN(1)
+	skew := func(kind Kind) float64 {
+		in, err := Generate(Config{Kind: kind, Graph: g, NumCoflows: 300, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sizes []float64
+		for _, c := range in.Coflows {
+			for _, f := range c.Flows {
+				sizes = append(sizes, f.Demand)
+			}
+		}
+		s := stats.Summarize(sizes)
+		return s.Max / s.Mean
+	}
+	if skew(FB) <= skew(TPCH) {
+		t.Fatalf("FB skew %v not above TPC-H skew %v", skew(FB), skew(TPCH))
+	}
+}
+
+func TestUnweightedMode(t *testing.T) {
+	g := graph.SWAN(1)
+	in, err := Generate(Config{Kind: TPCDS, Graph: g, NumCoflows: 10, Seed: 3,
+		WeightMin: 1, WeightMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range in.Coflows {
+		if c.Weight != 1 {
+			t.Fatalf("weight %v, want 1", c.Weight)
+		}
+	}
+}
+
+func TestReleasesMonotoneWithArrivals(t *testing.T) {
+	g := graph.SWAN(1)
+	in, err := Generate(Config{Kind: TPCH, Graph: g, NumCoflows: 30, Seed: 5, MeanInterarrival: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < len(in.Coflows); j++ {
+		if in.Coflows[j].Release < in.Coflows[j-1].Release {
+			t.Fatal("releases not monotone")
+		}
+	}
+	if in.Coflows[len(in.Coflows)-1].Release == 0 {
+		t.Fatal("arrival process produced no spread")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	g := graph.SWAN(1)
+	cases := []Config{
+		{Kind: FB, NumCoflows: 5},                                        // nil graph
+		{Kind: FB, Graph: g, NumCoflows: 0},                              // no coflows
+		{Kind: FB, Graph: g, NumCoflows: 5, WeightMin: 5, WeightMax: 2},  // bad range
+		{Kind: FB, Graph: g, NumCoflows: 5, WeightMin: -1, WeightMax: 2}, // bad range
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	single := graph.New()
+	single.AddNode("only")
+	if _, err := Generate(Config{Kind: FB, Graph: single, NumCoflows: 1}); err == nil {
+		t.Error("single-node graph accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{BigBench: "BigBench", TPCDS: "TPC-DS", TPCH: "TPC-H", FB: "FB"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
