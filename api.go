@@ -1,10 +1,11 @@
 package repro
 
 import (
-	"math/rand"
+	"context"
 
 	"repro/internal/coflow"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/timegrid"
 	"repro/internal/workload"
@@ -35,6 +36,11 @@ type (
 	WorkloadConfig = workload.Config
 	// WorkloadKind selects one of the paper's four workloads.
 	WorkloadKind = workload.Kind
+	// SchedulerResult is the uniform outcome type of the scheduler
+	// engine: every registered algorithm (Stretch pipeline, λ=1
+	// heuristic, Terra, Jahanjou, Sincronia greedy, …) reports through
+	// it, so algorithms compare side by side.
+	SchedulerResult = engine.Result
 )
 
 // Transmission models (Section 2 of the paper). MultiPath is the
@@ -80,8 +86,14 @@ type SchedOptions struct {
 	// Trials is the number of randomized Stretch roundings (0 = 20;
 	// negative disables Stretch and keeps only the λ=1 heuristic).
 	Trials int
-	// Seed drives the λ sampling.
+	// Seed drives the λ sampling. Each trial derives its own RNG from
+	// the seed and its index, so a fixed seed reproduces identical
+	// results at any worker count.
 	Seed int64
+	// Workers bounds the goroutines used for Stretch trials (0 =
+	// GOMAXPROCS; 1 forces serial execution). Results do not depend
+	// on the worker count.
+	Workers int
 	// DisableCompaction turns off the Section 6.1 idle-slot pass.
 	DisableCompaction bool
 }
@@ -120,13 +132,35 @@ func ScheduleMultiPath(inst *Instance, opt SchedOptions) (*Result, error) {
 
 func run(inst *Instance, mode coflow.Model, opt SchedOptions) (*Result, error) {
 	opt = opt.normalize()
-	grid := core.DefaultGrid(inst, mode, opt.MaxSlots)
-	var rng *rand.Rand
-	if opt.Trials > 0 {
-		rng = rand.New(rand.NewSource(opt.Seed))
-	}
-	return core.Run(inst, mode, opt.Trials, rng, core.Options{
-		Grid:              grid,
+	return core.Run(context.Background(), inst, mode, core.Options{
+		Grid:              core.DefaultGrid(inst, mode, opt.MaxSlots),
+		DisableCompaction: opt.DisableCompaction,
+		Trials:            opt.Trials,
+		Seed:              opt.Seed,
+		Workers:           opt.Workers,
+	})
+}
+
+// Schedulers lists the names registered with the scheduler engine,
+// sorted: "heuristic", "jahanjou", "sincronia-greedy", "stretch",
+// "terra", plus any the caller registered.
+func Schedulers() []string { return engine.Names() }
+
+// ScheduleWith runs the named engine scheduler on the instance in the
+// given transmission model. Unlike the Schedule* pipeline facades,
+// ScheduleWith reaches every registered algorithm — baselines
+// included — through one call. Cancellation via ctx is best-effort:
+// it is checked before dispatch and between Stretch trials, but a
+// long-running LP solve or baseline simulation is not interrupted
+// mid-flight.
+func ScheduleWith(ctx context.Context, name string, inst *Instance, mode TransmissionModel, opt SchedOptions) (*SchedulerResult, error) {
+	// engine.Schedule normalizes with the same defaults SchedOptions
+	// uses (48-slot cap, 20 trials, negative trials disable).
+	return engine.Schedule(ctx, name, inst, mode, engine.Options{
+		MaxSlots:          opt.MaxSlots,
+		Trials:            opt.Trials,
+		Seed:              opt.Seed,
+		Workers:           opt.Workers,
 		DisableCompaction: opt.DisableCompaction,
 	})
 }

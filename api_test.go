@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 )
 
@@ -87,5 +88,59 @@ func TestDeterministicPipeline(t *testing.T) {
 	}
 	if a.LowerBound != b.LowerBound || a.Stretch.AvgWeighted != b.Stretch.AvgWeighted {
 		t.Fatal("pipeline is not deterministic for a fixed seed")
+	}
+}
+
+func TestSchedulersRegistry(t *testing.T) {
+	names := Schedulers()
+	if len(names) < 5 {
+		t.Fatalf("want ≥ 5 registered schedulers, got %v", names)
+	}
+}
+
+func TestScheduleWithFacade(t *testing.T) {
+	single := smallInstance(t, true)
+	free := smallInstance(t, false)
+	for _, tc := range []struct {
+		name string
+		in   *Instance
+		mode TransmissionModel
+	}{
+		{"stretch", free, FreePath},
+		{"heuristic", single, SinglePath},
+		{"terra", free, FreePath},
+		{"jahanjou", single, SinglePath},
+		{"sincronia-greedy", single, SinglePath},
+	} {
+		res, err := ScheduleWith(context.Background(), tc.name, tc.in, tc.mode,
+			SchedOptions{MaxSlots: 24, Trials: 3, Seed: 1, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Scheduler != tc.name || res.Weighted <= 0 {
+			t.Fatalf("%s: bad result %+v", tc.name, res)
+		}
+	}
+	if _, err := ScheduleWith(context.Background(), "nope", free, FreePath, SchedOptions{}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+// TestFacadeWorkersDeterministic: the top-level API inherits the
+// engine's determinism guarantee.
+func TestFacadeWorkersDeterministic(t *testing.T) {
+	in := smallInstance(t, false)
+	a, err := ScheduleFreePath(in, SchedOptions{MaxSlots: 24, Trials: 6, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScheduleFreePath(in, SchedOptions{MaxSlots: 24, Trials: 6, Seed: 9, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stretch.BestWeighted != b.Stretch.BestWeighted ||
+		a.Stretch.AvgWeighted != b.Stretch.AvgWeighted ||
+		a.Stretch.BestLambda != b.Stretch.BestLambda {
+		t.Fatalf("worker count changed results: %+v vs %+v", a.Stretch, b.Stretch)
 	}
 }

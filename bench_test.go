@@ -8,7 +8,9 @@ package repro
 // job; these benches track the cost of the pipeline end to end.
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/baselines"
@@ -104,6 +106,34 @@ func BenchmarkStretchRounding(b *testing.B) {
 		if _, err := core.StretchOnce(sol, schedule.SampleLambda(rng), opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStretchTrialsParallel compares Stretch trial throughput at
+// 1 worker vs GOMAXPROCS workers on a free-path SWAN instance. The
+// trials are embarrassingly parallel, so the speedup tracks the core
+// count; results are bit-identical either way (same seed).
+func BenchmarkStretchTrialsParallel(b *testing.B) {
+	in := benchInstance(b, false, 4)
+	grid := core.DefaultGrid(in, coflow.FreePath, 24)
+	sol, err := core.SolveLP(in, coflow.FreePath, core.Options{Grid: grid})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 32
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
+		b.Run(tc.name, func(b *testing.B) {
+			opt := core.Options{Grid: grid, Seed: 7, Workers: tc.workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.StretchTrials(context.Background(), sol, trials, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
 	}
 }
 

@@ -8,13 +8,19 @@
 //	coflowsim -figure all -csv out/      # all figures, CSV per figure
 //	coflowsim -gen fb -coflows 20 -topology gscale -out inst.json
 //	coflowsim -run inst.json -model free -trials 20
+//	coflowsim -scheduler list            # names in the engine registry
+//	coflowsim -scheduler stretch         # run one engine scheduler
+//	coflowsim -scheduler all -model single -coflows 8
 //
-// Scale flags (-coflows, -free-coflows, -slots, -trials, -seed) apply
-// to figure regeneration; defaults are laptop-sized (see
-// internal/experiments).
+// Scale flags (-coflows, -free-coflows, -slots, -trials, -seed,
+// -workers) apply to figure regeneration; defaults are laptop-sized
+// (see internal/experiments). -scheduler runs the named engine
+// scheduler (or every compatible one with "all") on the -run instance
+// if given, otherwise on a freshly generated workload.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +28,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"repro/internal/baselines"
 	"repro/internal/coflow"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/workload"
@@ -41,8 +49,11 @@ func main() {
 		slots       = flag.Int("slots", 0, "uniform grid slot cap (0 = default)")
 		trials      = flag.Int("trials", 0, "λ samples per instance (0 = default 20)")
 		seed        = flag.Int64("seed", 0, "base random seed (0 = default)")
+		workers     = flag.Int("workers", 0, "worker pool size for trials and figure cells (0 = GOMAXPROCS)")
 		small       = flag.Bool("small", false, "use the quick test-scale configuration")
 		verbose     = flag.Bool("v", false, "log progress")
+
+		scheduler = flag.String("scheduler", "", "engine scheduler to run: list|all|<name>[,<name>…]")
 
 		gen      = flag.String("gen", "", "generate a workload: bigbench|tpcds|tpch|fb")
 		topology = flag.String("topology", "swan", "topology for -gen: swan|gscale")
@@ -56,6 +67,15 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *scheduler != "":
+		err := runSchedulers(schedulerArgs{
+			spec: *scheduler, runFile: *runFile, modelStr: *modelFlag,
+			genKind: *gen, topology: *topology, coflows: *coflows,
+			slots: *slots, trials: *trials, seed: *seed, workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	case *figure != "":
 		cfg := experiments.Default()
 		if *small {
@@ -76,6 +96,7 @@ func main() {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		cfg.Workers = *workers
 		if *verbose {
 			cfg.Logf = func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -89,7 +110,7 @@ func main() {
 			fatal(err)
 		}
 	case *runFile != "":
-		if err := runInstance(*runFile, *modelFlag, *trials, *seed, *slots, *terra); err != nil {
+		if err := runInstance(*runFile, *modelFlag, *trials, *seed, *slots, *workers, *terra); err != nil {
 			fatal(err)
 		}
 	default:
@@ -204,26 +225,124 @@ func generate(kindStr, topoStr string, coflows int, seed int64, paths bool, out 
 	return in.WriteJSON(w)
 }
 
-func runInstance(path, modelStr string, trials int, seed int64, slots int, withTerra bool) error {
+func parseModel(s string) (coflow.Model, error) {
+	switch strings.ToLower(s) {
+	case "single":
+		return coflow.SinglePath, nil
+	case "free":
+		return coflow.FreePath, nil
+	case "multi":
+		return coflow.MultiPath, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q (single|free|multi)", s)
+	}
+}
+
+func loadInstance(path string) (*coflow.Instance, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	in, err := coflow.ReadJSON(f)
-	f.Close()
+	defer f.Close()
+	return coflow.ReadJSON(f)
+}
+
+// schedulerArgs bundles the flag values the -scheduler branch needs.
+type schedulerArgs struct {
+	spec, runFile, modelStr, genKind, topology string
+	coflows, slots, trials, workers            int
+	seed                                       int64
+}
+
+// runSchedulers runs one or more engine schedulers on an instance:
+// the -run file when given, otherwise a freshly generated workload.
+func runSchedulers(a schedulerArgs) error {
+	if a.spec == "list" {
+		for _, name := range engine.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	mode, err := parseModel(a.modelStr)
 	if err != nil {
 		return err
 	}
-	var mode coflow.Model
-	switch strings.ToLower(modelStr) {
-	case "single":
-		mode = coflow.SinglePath
-	case "free":
-		mode = coflow.FreePath
+	var in *coflow.Instance
+	switch {
+	case a.runFile != "":
+		if in, err = loadInstance(a.runFile); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown model %q (single|free)", modelStr)
+		kindStr := a.genKind
+		if kindStr == "" {
+			kindStr = "fb"
+		}
+		kind, err := parseKind(kindStr)
+		if err != nil {
+			return err
+		}
+		g, err := parseTopology(a.topology)
+		if err != nil {
+			return err
+		}
+		n := a.coflows
+		if n <= 0 {
+			n = 8
+		}
+		if in, err = workload.Generate(workload.Config{
+			Kind: kind, Graph: g, NumCoflows: n, Seed: a.seed,
+			MeanInterarrival: 1.5, AssignPaths: mode == coflow.SinglePath,
+		}); err != nil {
+			return err
+		}
+		if mode == coflow.MultiPath {
+			if err := in.AssignKShortestPaths(3); err != nil {
+				return err
+			}
+		}
 	}
-	opt := repro.SchedOptions{MaxSlots: slots, Trials: trials, Seed: seed}
+	var names []string
+	if a.spec == "all" {
+		for _, name := range engine.Names() {
+			if s, err := engine.Get(name); err == nil && s.Supports(mode) {
+				names = append(names, name)
+			}
+		}
+	} else {
+		names = strings.Split(a.spec, ",")
+	}
+	opt := repro.SchedOptions{MaxSlots: a.slots, Trials: a.trials, Seed: a.seed, Workers: a.workers}
+	fmt.Printf("model: %v, coflows: %d (%d flows)\n\n", mode, len(in.Coflows), in.NumFlows())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheduler\tweighted ΣwC\ttotal ΣC\tLP bound")
+	for _, name := range names {
+		res, err := repro.ScheduleWith(context.Background(), strings.TrimSpace(name), in, mode, opt)
+		if err != nil {
+			return err
+		}
+		bound := "-"
+		if res.HasLowerBound {
+			bound = fmt.Sprintf("%.3f", res.LowerBound)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%s\n", res.Scheduler, res.Weighted, res.Total, bound)
+	}
+	return tw.Flush()
+}
+
+func runInstance(path, modelStr string, trials int, seed int64, slots, workers int, withTerra bool) error {
+	in, err := loadInstance(path)
+	if err != nil {
+		return err
+	}
+	mode, err := parseModel(modelStr)
+	if err != nil {
+		return err
+	}
+	if mode == coflow.MultiPath {
+		return fmt.Errorf("-run supports single|free (use -scheduler for multi)")
+	}
+	opt := repro.SchedOptions{MaxSlots: slots, Trials: trials, Seed: seed, Workers: workers}
 	var res *repro.Result
 	if mode == coflow.SinglePath {
 		res, err = repro.ScheduleSinglePath(in, opt)

@@ -8,6 +8,13 @@
 // G-Scale WAN topologies, synthetic BigBench/TPC-DS/TPC-H/Facebook
 // workloads, and the Jahanjou et al. and Terra baselines.
 //
+// Every algorithm — the Stretch pipeline, the λ=1 heuristic, and the
+// baselines (including a Sincronia-style bottleneck greedy) — is
+// registered with the scheduler engine (internal/engine) and reachable
+// by name through ScheduleWith; Schedulers lists the registry. Stretch
+// roundings run on a worker pool with per-trial RNGs derived from the
+// seed, so results are reproducible at any SchedOptions.Workers.
+//
 // This root package is a thin facade over the internal packages; see
 // README.md for the architecture and cmd/coflowsim for the experiment
 // driver that regenerates every figure of the paper.

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -171,7 +172,7 @@ func TestOurHeuristicBeatsOrMatchesJahanjou(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(in, coflow.SinglePath, 0, nil,
+	res, err := core.Run(context.Background(), in, coflow.SinglePath,
 		core.Options{Grid: timegrid.Uniform(int(math.Ceil(horizon)) + 1)})
 	if err != nil {
 		t.Fatal(err)

@@ -17,6 +17,7 @@
 package baselines
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,11 @@ import (
 	"repro/internal/simplex"
 	"repro/internal/timegrid"
 )
+
+// ErrHorizonTooSmall marks a PriorityFill run that left demand
+// unshipped because the slot budget ran out. Callers retry with a
+// longer horizon iff errors.Is(err, ErrHorizonTooSmall).
+var ErrHorizonTooSmall = errors.New("horizon too small")
 
 // JahanjouEpsilon is the interval growth rate that optimizes the
 // approximation ratio of Jahanjou et al.'s rounding (the paper quotes
@@ -205,8 +211,8 @@ func PriorityFill(inst *coflow.Instance, order []int, slots int) (*schedule.Sche
 	}
 	for f, rem := range remaining {
 		if rem > 1e-9 {
-			return nil, fmt.Errorf("baselines: flow %d has %.3g demand left after %d slots (horizon too small)",
-				f, rem, slots)
+			return nil, fmt.Errorf("baselines: flow %d has %.3g demand left after %d slots: %w",
+				f, rem, slots, ErrHorizonTooSmall)
 		}
 	}
 	return s, nil

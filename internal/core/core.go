@@ -15,14 +15,18 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/coflow"
 	"repro/internal/model"
+	"repro/internal/pool"
 	"repro/internal/schedule"
 	"repro/internal/simplex"
+	"repro/internal/stats"
 	"repro/internal/timegrid"
 )
 
@@ -35,6 +39,16 @@ type Options struct {
 	// DisableCompaction turns off the idle-slot optimization of
 	// Section 6.1 (used by the ablation benchmarks).
 	DisableCompaction bool
+	// Trials is the number of randomized Stretch roundings Run
+	// performs on uniform grids (0 disables Stretch).
+	Trials int
+	// Seed drives the λ sampling. Each trial derives its own RNG from
+	// Seed and the trial index, so results are reproducible at any
+	// worker count.
+	Seed int64
+	// Workers bounds the goroutines used for Stretch trials (≤ 0 =
+	// GOMAXPROCS).
+	Workers int
 }
 
 // Evaluated is a feasibility-verified schedule with its metrics.
@@ -112,32 +126,56 @@ type StretchStats struct {
 	BestTotalLmbda float64
 }
 
+// TrialLambda returns the λ drawn for trial i under the given base
+// seed: each trial owns an RNG derived from (seed, i) with a
+// splitmix64-style finalizer, so the sample sequence is a pure
+// function of the seed and index, independent of execution order.
+func TrialLambda(seed int64, i int) float64 {
+	rng := rand.New(rand.NewSource(stats.SubSeed(seed, uint64(i))))
+	return schedule.SampleLambda(rng)
+}
+
 // StretchTrials samples k values of λ from the f(v)=2v density
-// (paper: k=20), rounds with each, and aggregates.
-func StretchTrials(sol *model.Solution, rng *rand.Rand, k int, opt Options) (*StretchStats, error) {
+// (paper: k=20), rounds with each, and aggregates. Trials run on a
+// worker pool of opt.Workers goroutines; per-trial RNGs are derived
+// deterministically from opt.Seed, and aggregation happens in trial
+// order after the pool drains, so a fixed seed yields bit-identical
+// stats at any worker count.
+func StretchTrials(ctx context.Context, sol *model.Solution, k int, opt Options) (*StretchStats, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: StretchTrials needs k ≥ 1, got %d", k)
+	}
+	type trial struct {
+		lambda float64
+		ev     *Evaluated
+	}
+	trials, err := pool.Map(ctx, k, opt.Workers, func(i int) (trial, error) {
+		lambda := TrialLambda(opt.Seed, i)
+		ev, err := StretchOnce(sol, lambda, opt)
+		if err != nil {
+			return trial{}, err
+		}
+		return trial{lambda: lambda, ev: ev}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	st := &StretchStats{
 		BestWeighted: math.Inf(1),
 		BestTotal:    math.Inf(1),
 	}
-	for i := 0; i < k; i++ {
-		lambda := schedule.SampleLambda(rng)
-		ev, err := StretchOnce(sol, lambda, opt)
-		if err != nil {
-			return nil, err
-		}
+	for _, tr := range trials {
+		ev := tr.ev
 		st.Samples = append(st.Samples, *ev)
 		st.AvgWeighted += ev.Weighted
 		st.AvgTotal += ev.Total
 		if ev.Weighted < st.BestWeighted {
 			st.BestWeighted = ev.Weighted
-			st.BestLambda = lambda
+			st.BestLambda = tr.lambda
 		}
 		if ev.Total < st.BestTotal {
 			st.BestTotal = ev.Total
-			st.BestTotalLmbda = lambda
+			st.BestTotalLmbda = tr.lambda
 		}
 	}
 	st.AvgWeighted /= float64(k)
@@ -156,9 +194,9 @@ type Result struct {
 }
 
 // Run executes the complete pipeline: solve the LP, evaluate the λ=1
-// heuristic, and (on uniform grids) run `trials` randomized Stretch
-// roundings.
-func Run(inst *coflow.Instance, mode coflow.Model, trials int, rng *rand.Rand, opt Options) (*Result, error) {
+// heuristic, and (on uniform grids) run opt.Trials randomized Stretch
+// roundings on the worker pool.
+func Run(ctx context.Context, inst *coflow.Instance, mode coflow.Model, opt Options) (*Result, error) {
 	sol, err := SolveLP(inst, mode, opt)
 	if err != nil {
 		return nil, err
@@ -172,15 +210,47 @@ func Run(inst *coflow.Instance, mode coflow.Model, trials int, rng *rand.Rand, o
 	if res.Heuristic, err = Heuristic(sol, opt); err != nil {
 		return nil, err
 	}
-	if trials > 0 && opt.Grid.IsUniform() {
-		if rng == nil {
-			return nil, fmt.Errorf("core: stretch trials require an rng")
-		}
-		if res.Stretch, err = StretchTrials(sol, rng, trials, opt); err != nil {
+	if opt.Trials > 0 && opt.Grid.IsUniform() {
+		if res.Stretch, err = StretchTrials(ctx, sol, opt.Trials, opt); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
+}
+
+// RetryableLP reports whether err is an LP failure cured by a longer
+// time grid: infeasible (horizon too short for the demands) or over
+// its iteration budget.
+func RetryableLP(err error) bool {
+	var se *model.StatusError
+	return errors.As(err, &se) &&
+		(se.Status == simplex.Infeasible || se.Status == simplex.IterLimit)
+}
+
+// RunAdaptive runs the pipeline on a uniform grid sized by
+// DefaultGrid, doubling the slot count (up to 4× maxSlots) when the
+// horizon proves too short for the instance's demands. logf, when
+// non-nil, receives a line per retry. This is the shared retry policy
+// of the engine schedulers and the experiment harnesses.
+func RunAdaptive(ctx context.Context, inst *coflow.Instance, mode coflow.Model, maxSlots int, opt Options, logf func(format string, args ...any)) (*Result, timegrid.Grid, error) {
+	grid := DefaultGrid(inst, mode, maxSlots)
+	slots := grid.NumSlots()
+	for {
+		grid = timegrid.Uniform(slots)
+		opt.Grid = grid
+		res, err := Run(ctx, inst, mode, opt)
+		if err == nil {
+			return res, grid, nil
+		}
+		if RetryableLP(err) && slots < 4*maxSlots {
+			if logf != nil {
+				logf("horizon %d slots too short (%v); doubling", slots, err)
+			}
+			slots *= 2
+			continue
+		}
+		return nil, grid, err
+	}
 }
 
 // DefaultGrid returns a uniform grid sized from the instance's horizon

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,8 +44,8 @@ func figure2Instance(paths bool) *coflow.Instance {
 
 func TestRunFigure2SinglePath(t *testing.T) {
 	in := figure2Instance(true)
-	opt := Options{Grid: timegrid.Uniform(6)}
-	res, err := Run(in, coflow.SinglePath, 10, rand.New(rand.NewSource(1)), opt)
+	opt := Options{Grid: timegrid.Uniform(6), Trials: 10, Seed: 1}
+	res, err := Run(context.Background(), in, coflow.SinglePath, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,8 +75,8 @@ func TestRunFigure2SinglePath(t *testing.T) {
 
 func TestRunFigure2FreePath(t *testing.T) {
 	in := figure2Instance(false)
-	opt := Options{Grid: timegrid.Uniform(6)}
-	res, err := Run(in, coflow.FreePath, 5, rand.New(rand.NewSource(2)), opt)
+	opt := Options{Grid: timegrid.Uniform(6), Trials: 5, Seed: 2}
+	res, err := Run(context.Background(), in, coflow.FreePath, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,9 +118,9 @@ func TestHeuristicDominatesLowerBound(t *testing.T) {
 		if err := in.AssignRandomShortestPaths(rng); err != nil {
 			t.Fatal(err)
 		}
-		opt := Options{Grid: DefaultGrid(in, coflow.SinglePath, 30)}
+		opt := Options{Grid: DefaultGrid(in, coflow.SinglePath, 30), Trials: 3, Seed: int64(trial)}
 		for _, mode := range []coflow.Model{coflow.SinglePath, coflow.FreePath} {
-			res, err := Run(in, mode, 3, rng, opt)
+			res, err := Run(context.Background(), in, mode, opt)
 			if err != nil {
 				t.Fatalf("trial %d %v: %v", trial, mode, err)
 			}
@@ -142,11 +143,8 @@ func TestStretchTrialsValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := StretchTrials(sol, rand.New(rand.NewSource(1)), 0, opt); err == nil {
+	if _, err := StretchTrials(context.Background(), sol, 0, opt); err == nil {
 		t.Fatal("k=0 accepted")
-	}
-	if _, err := Run(in, coflow.SinglePath, 3, nil, opt); err == nil {
-		t.Fatal("nil rng accepted with trials > 0")
 	}
 }
 
@@ -160,8 +158,8 @@ func TestRunUnknownModel(t *testing.T) {
 
 func TestGeometricGridHeuristicOnly(t *testing.T) {
 	in := figure2Instance(true)
-	opt := Options{Grid: timegrid.Geometric(8, 0.5)}
-	res, err := Run(in, coflow.SinglePath, 5, rand.New(rand.NewSource(3)), opt)
+	opt := Options{Grid: timegrid.Geometric(8, 0.5), Trials: 5, Seed: 3}
+	res, err := Run(context.Background(), in, coflow.SinglePath, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,12 +216,12 @@ func TestTheorem44EmpiricalTwoApprox(t *testing.T) {
 	// Average of many Stretch samples stays ≤ 2×LP (Theorem 4.4), on
 	// an instance with nontrivial congestion.
 	in := figure2Instance(true)
-	opt := Options{Grid: timegrid.Uniform(8), Simplex: simplex.Options{}}
+	opt := Options{Grid: timegrid.Uniform(8), Simplex: simplex.Options{}, Seed: 5}
 	sol, err := SolveLP(in, coflow.SinglePath, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := StretchTrials(sol, rand.New(rand.NewSource(5)), 300, opt)
+	st, err := StretchTrials(context.Background(), sol, 300, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,5 +230,60 @@ func TestTheorem44EmpiricalTwoApprox(t *testing.T) {
 	}
 	if math.IsInf(st.BestWeighted, 1) {
 		t.Fatal("no finite best objective")
+	}
+}
+
+// TestStretchTrialsDeterministicAcrossWorkers: a fixed seed must give
+// bit-identical Best/Average λ stats at any worker count, because each
+// trial's RNG is derived from (seed, index) and aggregation happens in
+// trial order.
+func TestStretchTrialsDeterministicAcrossWorkers(t *testing.T) {
+	in := figure2Instance(true)
+	base := Options{Grid: timegrid.Uniform(8), Seed: 99}
+	sol, err := SolveLP(in, coflow.SinglePath, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *StretchStats
+	for _, workers := range []int{1, 4, 8} {
+		opt := base
+		opt.Workers = workers
+		st, err := StretchTrials(context.Background(), sol, 12, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = st
+			continue
+		}
+		if st.BestWeighted != ref.BestWeighted || st.AvgWeighted != ref.AvgWeighted ||
+			st.BestLambda != ref.BestLambda || st.BestTotal != ref.BestTotal ||
+			st.AvgTotal != ref.AvgTotal || st.BestTotalLmbda != ref.BestTotalLmbda {
+			t.Fatalf("workers=%d: stats diverge from serial:\n%+v\nvs\n%+v", workers, st, ref)
+		}
+		for i := range st.Samples {
+			if st.Samples[i].Lambda != ref.Samples[i].Lambda ||
+				st.Samples[i].Weighted != ref.Samples[i].Weighted ||
+				st.Samples[i].Total != ref.Samples[i].Total {
+				t.Fatalf("workers=%d: sample %d diverges", workers, i)
+			}
+		}
+	}
+}
+
+// TestTrialLambdaPureFunction: λ for a trial depends only on (seed,
+// index), never on evaluation order.
+func TestTrialLambdaPureFunction(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a, b := TrialLambda(3, i), TrialLambda(3, i)
+		if a != b {
+			t.Fatalf("trial %d: %v != %v", i, a, b)
+		}
+		if a <= 0 || a >= 1 {
+			t.Fatalf("trial %d: λ=%v outside (0,1)", i, a)
+		}
+	}
+	if TrialLambda(3, 0) == TrialLambda(4, 0) {
+		t.Fatal("different seeds gave the same λ")
 	}
 }

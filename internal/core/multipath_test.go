@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -17,8 +18,8 @@ func TestMultiPathEndToEnd(t *testing.T) {
 	if err := in.AssignKShortestPaths(3); err != nil {
 		t.Fatal(err)
 	}
-	opt := Options{Grid: timegrid.Uniform(6)}
-	res, err := Run(in, coflow.MultiPath, 10, rand.New(rand.NewSource(4)), opt)
+	opt := Options{Grid: timegrid.Uniform(6), Trials: 10, Seed: 4}
+	res, err := Run(context.Background(), in, coflow.MultiPath, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/coflow"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// testInstance generates a small FB workload on SWAN; paths makes it
+// valid for the single path model too.
+func testInstance(t *testing.T, paths bool, n int) *coflow.Instance {
+	t.Helper()
+	in, err := workload.Generate(workload.Config{
+		Kind: workload.FB, Graph: graph.SWAN(1), NumCoflows: n, Seed: 7,
+		MeanInterarrival: 1, AssignPaths: paths,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRegistryListsBuiltins(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("registry has %d schedulers, want ≥ 5: %v", len(names), names)
+	}
+	for _, want := range []string{NameStretch, NameHeuristic, NameTerra, NameJahanjou, NameSincronia} {
+		if _, err := Get(want); err != nil {
+			t.Errorf("missing built-in scheduler %q: %v", want, err)
+		}
+	}
+	if _, err := Get("no-such-scheduler"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestEverySchedulerRuns exercises each registered scheduler on an
+// instance in a model it supports and sanity-checks the Result.
+func TestEverySchedulerRuns(t *testing.T) {
+	single := testInstance(t, true, 5)
+	free := testInstance(t, false, 3)
+	opt := Options{MaxSlots: 24, Trials: 3, Seed: 1}
+	for _, name := range Names() {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var in *coflow.Instance
+		var mode coflow.Model
+		switch {
+		case s.Supports(coflow.SinglePath):
+			in, mode = single, coflow.SinglePath
+		case s.Supports(coflow.FreePath):
+			in, mode = free, coflow.FreePath
+		default:
+			t.Fatalf("%s supports no testable model", name)
+		}
+		res, err := Schedule(context.Background(), name, in, mode, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Scheduler != name || res.Mode != mode {
+			t.Fatalf("%s: result mislabeled: %+v", name, res)
+		}
+		if res.Weighted <= 0 || res.Total <= 0 {
+			t.Fatalf("%s: non-positive objective %v / %v", name, res.Weighted, res.Total)
+		}
+		if len(res.Completions) != len(in.Coflows) {
+			t.Fatalf("%s: %d completions for %d coflows", name, len(res.Completions), len(in.Coflows))
+		}
+		if res.HasLowerBound && res.Weighted < res.LowerBound-1e-6 {
+			t.Fatalf("%s: objective %v below LP bound %v", name, res.Weighted, res.LowerBound)
+		}
+		if res.Schedule != nil {
+			if err := res.Schedule.Verify(); err != nil {
+				t.Fatalf("%s: infeasible schedule: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestUnsupportedModelRejected(t *testing.T) {
+	in := testInstance(t, true, 3)
+	if _, err := Schedule(context.Background(), NameTerra, in, coflow.SinglePath, Options{}); err == nil {
+		t.Fatal("terra accepted the single path model")
+	}
+	if _, err := Schedule(context.Background(), NameSincronia, in, coflow.FreePath, Options{}); err == nil {
+		t.Fatal("sincronia accepted the free path model")
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	in := testInstance(t, true, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Schedule(ctx, NameStretch, in, coflow.SinglePath, Options{Trials: 4}); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+// TestStretchDeterministicAcrossWorkers is the engine-level
+// determinism check: a fixed seed must produce bit-identical results
+// at 1, 4, and 8 workers.
+func TestStretchDeterministicAcrossWorkers(t *testing.T) {
+	in := testInstance(t, false, 3)
+	var base *Result
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Schedule(context.Background(), NameStretch, in, coflow.FreePath,
+			Options{MaxSlots: 24, Trials: 8, Seed: 42, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		st := res.Core.Stretch
+		if st == nil {
+			t.Fatalf("workers=%d: no stretch stats", workers)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		bs := base.Core.Stretch
+		if st.BestWeighted != bs.BestWeighted || st.AvgWeighted != bs.AvgWeighted ||
+			st.BestLambda != bs.BestLambda || st.BestTotal != bs.BestTotal ||
+			st.AvgTotal != bs.AvgTotal || st.BestTotalLmbda != bs.BestTotalLmbda {
+			t.Fatalf("workers=%d: stats diverge:\n%+v\nvs\n%+v", workers, st, bs)
+		}
+		if res.Weighted != base.Weighted || res.Total != base.Total {
+			t.Fatalf("workers=%d: result diverges: %v/%v vs %v/%v",
+				workers, res.Weighted, res.Total, base.Weighted, base.Total)
+		}
+		for i := range st.Samples {
+			if st.Samples[i].Lambda != bs.Samples[i].Lambda ||
+				st.Samples[i].Weighted != bs.Samples[i].Weighted {
+				t.Fatalf("workers=%d: sample %d diverges", workers, i)
+			}
+		}
+	}
+	if math.IsInf(base.Core.Stretch.BestWeighted, 1) {
+		t.Fatal("no finite best objective")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	o := Options{}.Normalize()
+	if o.MaxSlots != 48 || o.Trials != 20 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	if o := (Options{Trials: -1}).Normalize(); o.Trials != 0 {
+		t.Fatalf("negative trials should disable: %+v", o)
+	}
+}

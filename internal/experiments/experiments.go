@@ -6,6 +6,12 @@
 // are in slot units (the paper plots seconds with 50-second slots; the
 // shape of the comparison is unit-invariant).
 //
+// Each harness fans its independent cells (one per workload, or per ε
+// value) out over a bounded worker pool (Config.Workers), and the
+// Stretch trials inside each cell share the same bound. Tables are
+// identical at any worker count: cells derive their seeds from
+// Config.Seed, and rows are collected positionally.
+//
 // Figure index:
 //
 //	Figure 6  — free path, SWAN, weighted: LP bound / heuristic(λ=1) /
@@ -15,6 +21,7 @@
 //	            sweep of LP bound and heuristic
 //	Figure 9  — single path, SWAN: time-indexed LP + heuristic vs
 //	            time-interval LP (ε=0.2) + heuristic vs Jahanjou et al.
+//	            vs the Sincronia-style bottleneck greedy
 //	Figure 10 — as Figure 9 on G-Scale
 //	Figure 11 — free path, SWAN, unit weights: LP / heuristic / Best λ /
 //	            Average λ / Terra (total completion time)
@@ -22,19 +29,20 @@
 package experiments
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/baselines"
 	"repro/internal/coflow"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/pool"
 	"repro/internal/simplex"
 	"repro/internal/stats"
 	"repro/internal/timegrid"
@@ -59,7 +67,12 @@ type Config struct {
 	MeanInterarrival float64
 	// EpsSweep lists the ε values for Figure 8.
 	EpsSweep []float64
-	// Logf, when non-nil, receives progress lines.
+	// Workers bounds the goroutines used to fan instances and Stretch
+	// trials out (≤ 0 = GOMAXPROCS). Figure data is identical at any
+	// worker count; only wall-clock time changes.
+	Workers int
+	// Logf, when non-nil, receives progress lines. It may be called
+	// from multiple goroutines; calls are serialized by the harness.
 	Logf func(format string, args ...any)
 }
 
@@ -117,8 +130,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// logMu serializes progress lines from concurrent figure cells so
+// interleaved output stays line-atomic.
+var logMu sync.Mutex
+
 func (c Config) logf(format string, args ...any) {
 	if c.Logf != nil {
+		logMu.Lock()
+		defer logMu.Unlock()
 		c.Logf(format, args...)
 	}
 }
@@ -201,35 +220,18 @@ const (
 	SeriesIntervalHeur = "Interval heuristic"
 	SeriesJahanjou     = "Jahanjou et al."
 	SeriesTerra        = "Terra"
+	SeriesSincronia    = "Sincronia greedy"
 )
 
-// retryable reports whether the error is an LP that came back
-// infeasible (horizon too short) or over its iteration budget.
-func retryable(err error) bool {
-	var se *model.StatusError
-	return errors.As(err, &se) &&
-		(se.Status == simplex.Infeasible || se.Status == simplex.IterLimit)
-}
-
-// runAdaptive runs the core pipeline on a uniform grid, doubling the
-// slot count (up to 4× the configured cap) when the horizon proves too
-// short for the generated demands.
-func runAdaptive(c Config, in *coflow.Instance, mode coflow.Model, trials int, rng *rand.Rand) (*core.Result, timegrid.Grid, error) {
-	grid := core.DefaultGrid(in, mode, c.MaxSlots)
-	slots := grid.NumSlots()
-	for {
-		grid = timegrid.Uniform(slots)
-		res, err := core.Run(in, mode, trials, rng, core.Options{Grid: grid})
-		if err == nil {
-			return res, grid, nil
-		}
-		if retryable(err) && slots < 4*c.MaxSlots {
-			c.logf("horizon %d slots too short (%v); doubling", slots, err)
-			slots *= 2
-			continue
-		}
-		return nil, grid, err
-	}
+// runAdaptive runs the core pipeline with the shared adaptive grid
+// policy (core.RunAdaptive). Stretch trials inside the run share the
+// harness's worker pool bound.
+func runAdaptive(ctx context.Context, c Config, in *coflow.Instance, mode coflow.Model, trials int, seed int64) (*core.Result, timegrid.Grid, error) {
+	return core.RunAdaptive(ctx, in, mode, c.MaxSlots, core.Options{
+		Trials:  trials,
+		Seed:    seed,
+		Workers: c.Workers,
+	}, c.logf)
 }
 
 // topologyFor returns the named topology with unit link capacity.
@@ -276,18 +278,19 @@ func weightedFree(c Config, topo string, figure string) (*FigureResult, error) {
 		Name:   figure,
 		Series: []string{SeriesLP, SeriesHeuristic, SeriesBestLambda, SeriesAvgLambda},
 	}
-	for _, kind := range workload.Kinds {
+	rows, err := pool.Map(context.Background(), len(workload.Kinds), c.Workers, func(i int) (Row, error) {
+		kind := workload.Kinds[i]
 		c.logf("%s: workload %v (n=%d)", figure, kind, n)
 		in, err := c.generate(kind, g, n, false, false)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		rng := rand.New(rand.NewSource(stats.SubSeed(c.Seed, uint64(kind)+100)))
-		run, _, err := runAdaptive(c, in, coflow.FreePath, c.Trials, rng)
+		run, _, err := runAdaptive(context.Background(), c, in, coflow.FreePath, c.Trials,
+			stats.SubSeed(c.Seed, uint64(kind)+100))
 		if err != nil {
-			return nil, fmt.Errorf("%s %v: %w", figure, kind, err)
+			return Row{}, fmt.Errorf("%s %v: %w", figure, kind, err)
 		}
-		res.Rows = append(res.Rows, Row{
+		return Row{
 			Label: kind.String(),
 			Values: map[string]float64{
 				SeriesLP:         run.LowerBound,
@@ -295,8 +298,12 @@ func weightedFree(c Config, topo string, figure string) (*FigureResult, error) {
 				SeriesBestLambda: run.Stretch.BestWeighted,
 				SeriesAvgLambda:  run.Stretch.AvgWeighted,
 			},
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -332,29 +339,34 @@ func Figure8(c Config) (*FigureResult, error) {
 	}
 	eps := append([]float64(nil), c.EpsSweep...)
 	sort.Float64s(eps)
-	for _, e := range eps {
+	rows, err := pool.Map(context.Background(), len(eps), c.Workers, func(i int) (Row, error) {
+		e := eps[i]
 		c.logf("Figure 8: ε = %.4g", e)
 		grid := timegrid.Geometric(horizon, e)
 		l, err := model.BuildFreePath(in, grid)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		sol, err := l.Solve(simplex.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("figure 8 ε=%g: %w", e, err)
+			return Row{}, fmt.Errorf("figure 8 ε=%g: %w", e, err)
 		}
 		heur, err := core.Heuristic(sol, core.Options{Grid: grid})
 		if err != nil {
-			return nil, fmt.Errorf("figure 8 ε=%g: %w", e, err)
+			return Row{}, fmt.Errorf("figure 8 ε=%g: %w", e, err)
 		}
-		res.Rows = append(res.Rows, Row{
+		return Row{
 			Label: fmt.Sprintf("ε=%.4g", e),
 			Values: map[string]float64{
 				"Interval LP(lower bound)": sol.LowerBound,
 				SeriesHeuristic:            heur.Weighted,
 			},
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -374,17 +386,18 @@ func singlePath(c Config, topo, figure string) (*FigureResult, error) {
 	res := &FigureResult{
 		Name: figure,
 		Series: []string{SeriesLP, SeriesHeuristic, SeriesIntervalLP,
-			SeriesIntervalHeur, SeriesJahanjou},
+			SeriesIntervalHeur, SeriesJahanjou, SeriesSincronia},
 	}
-	for _, kind := range workload.Kinds {
+	rows, err := pool.Map(context.Background(), len(workload.Kinds), c.Workers, func(i int) (Row, error) {
+		kind := workload.Kinds[i]
 		c.logf("%s: workload %v (n=%d)", figure, kind, n)
 		in, err := c.generate(kind, g, n, false, true)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		run, grid, err := runAdaptive(c, in, coflow.SinglePath, 0, nil)
+		run, grid, err := runAdaptive(context.Background(), c, in, coflow.SinglePath, 0, 0)
 		if err != nil {
-			return nil, fmt.Errorf("%s %v (uniform): %w", figure, kind, err)
+			return Row{}, fmt.Errorf("%s %v (uniform): %w", figure, kind, err)
 		}
 
 		// Time-interval LP (ε = 0.2) + its heuristic, growing the
@@ -397,34 +410,38 @@ func singlePath(c Config, topo, figure string) (*FigureResult, error) {
 			gridInt = timegrid.Geometric(h, 0.2)
 			lInt, err := model.BuildSinglePath(in, gridInt)
 			if err != nil {
-				return nil, err
+				return Row{}, err
 			}
 			solInt, err = lInt.Solve(simplex.Options{})
 			if err != nil {
-				if retryable(err) && h < 8*horizon {
+				if core.RetryableLP(err) && h < 8*horizon {
 					continue
 				}
-				return nil, fmt.Errorf("%s %v (interval): %w", figure, kind, err)
+				return Row{}, fmt.Errorf("%s %v (interval): %w", figure, kind, err)
 			}
 			break
 		}
 		heurInt, err = core.Heuristic(solInt, core.Options{Grid: gridInt})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 
 		// Jahanjou et al. with the ratio-optimizing ε.
 		jr, err := baselines.Jahanjou(in, horizon, baselines.JahanjouEpsilon, 0.5)
+		if core.RetryableLP(err) {
+			jr, err = baselines.Jahanjou(in, 4*horizon, baselines.JahanjouEpsilon, 0.5)
+		}
 		if err != nil {
-			if retryable(err) {
-				jr, err = baselines.Jahanjou(in, 4*horizon, baselines.JahanjouEpsilon, 0.5)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("%s %v (jahanjou): %w", figure, kind, err)
-			}
+			return Row{}, fmt.Errorf("%s %v (jahanjou): %w", figure, kind, err)
 		}
 
-		res.Rows = append(res.Rows, Row{
+		// Sincronia-style bottleneck greedy (LP-free ordering).
+		sg, err := baselines.SincroniaAdaptive(in, horizon)
+		if err != nil {
+			return Row{}, fmt.Errorf("%s %v (sincronia): %w", figure, kind, err)
+		}
+
+		return Row{
 			Label: kind.String(),
 			Values: map[string]float64{
 				SeriesLP:           run.LowerBound,
@@ -432,9 +449,14 @@ func singlePath(c Config, topo, figure string) (*FigureResult, error) {
 				SeriesIntervalLP:   solInt.LowerBound,
 				SeriesIntervalHeur: heurInt.Weighted,
 				SeriesJahanjou:     jr.Weighted,
+				SeriesSincronia:    sg.WeightedCompletion(),
 			},
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -465,27 +487,28 @@ func unweightedFree(c Config, topo, figure string) (*FigureResult, error) {
 		Series: []string{SeriesLP, SeriesHeuristic, SeriesBestLambda,
 			SeriesAvgLambda, SeriesTerra},
 	}
-	for _, kind := range workload.Kinds {
+	rows, err := pool.Map(context.Background(), len(workload.Kinds), c.Workers, func(i int) (Row, error) {
+		kind := workload.Kinds[i]
 		c.logf("%s: workload %v (n=%d)", figure, kind, n)
 		in, err := c.generate(kind, g, n, true, false)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		rng := rand.New(rand.NewSource(stats.SubSeed(c.Seed, uint64(kind)+200)))
-		run, _, err := runAdaptive(c, in, coflow.FreePath, c.Trials, rng)
+		run, _, err := runAdaptive(context.Background(), c, in, coflow.FreePath, c.Trials,
+			stats.SubSeed(c.Seed, uint64(kind)+200))
 		if err != nil {
-			return nil, fmt.Errorf("%s %v: %w", figure, kind, err)
+			return Row{}, fmt.Errorf("%s %v: %w", figure, kind, err)
 		}
 		tr, err := baselines.Terra(in)
 		if err != nil {
-			return nil, fmt.Errorf("%s %v (terra): %w", figure, kind, err)
+			return Row{}, fmt.Errorf("%s %v (terra): %w", figure, kind, err)
 		}
 		// Unweighted objective: total completion time.
 		lpTotal := 0.0
 		for _, cs := range run.CStar {
 			lpTotal += cs
 		}
-		res.Rows = append(res.Rows, Row{
+		return Row{
 			Label: kind.String(),
 			Values: map[string]float64{
 				SeriesLP:         lpTotal,
@@ -494,8 +517,12 @@ func unweightedFree(c Config, topo, figure string) (*FigureResult, error) {
 				SeriesAvgLambda:  run.Stretch.AvgTotal,
 				SeriesTerra:      tr.Total,
 			},
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package openshop
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -143,7 +144,7 @@ func TestTheorem51EndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		grid := core.DefaultGrid(ci, coflow.SinglePath, 64)
-		res, err := core.Run(ci, coflow.SinglePath, 0, nil, core.Options{Grid: grid})
+		res, err := core.Run(context.Background(), ci, coflow.SinglePath, core.Options{Grid: grid})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestFromCoflowScheduleRejectsWrongGraph(t *testing.T) {
 		Flows: []coflow.Flow{{Source: g.MustNode("v0"), Sink: g.MustNode("v1"),
 			Demand: 2, Path: []graph.EdgeID{0}}},
 	}}}
-	res, err := core.Run(ci, coflow.SinglePath, 0, nil,
+	res, err := core.Run(context.Background(), ci, coflow.SinglePath,
 		core.Options{Grid: timegrid.Uniform(4)})
 	if err != nil {
 		t.Fatal(err)

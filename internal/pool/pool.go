@@ -1,0 +1,112 @@
+// Package pool provides the bounded worker pool shared by the
+// scheduler engine and the experiment harnesses. Work items are
+// indexed, results are collected positionally, and aggregation happens
+// in index order after all workers drain — so a computation fanned out
+// over any number of workers produces bit-identical output to a serial
+// run, provided each item's work depends only on its index.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Size normalizes a requested worker count: values ≤ 0 mean
+// GOMAXPROCS, and the count never exceeds the item count n.
+func Size(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines and returns the results in index order. If any call
+// fails, the lowest-index error is returned, remaining items are
+// skipped, and the partial results are discarded. A cancelled context
+// stops new items and returns ctx.Err() unless an fn error (lower
+// index) takes precedence.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers = Size(workers, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, same semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		mu     sync.Mutex
+		next   int
+		failed bool
+		wg     sync.WaitGroup
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || next >= n || ctx.Err() != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					errs[i] = err
+					failed = true
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach is Map for side-effecting work with no result value.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	_, err := Map(ctx, n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,84 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Map(context.Background(), 50, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	boom7 := errors.New("boom 7")
+	_, err := Map(context.Background(), 20, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, boom7
+		}
+		if i == 15 {
+			return 0, fmt.Errorf("boom 15")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom7) {
+		t.Fatalf("want lowest-index error, got %v", err)
+	}
+}
+
+func TestMapCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Map(ctx, 10, 4, func(i int) (int, error) { return i, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := Map(ctx, 10, 1, func(i int) (int, error) { return i, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial path: want context.Canceled, got %v", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	var n atomic.Int64
+	if err := ForEach(context.Background(), 32, 5, func(i int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 32 {
+		t.Fatalf("ran %d of 32", n.Load())
+	}
+}
+
+func TestSize(t *testing.T) {
+	if s := Size(0, 100); s < 1 {
+		t.Fatalf("Size(0,100) = %d", s)
+	}
+	if s := Size(8, 3); s != 3 {
+		t.Fatalf("Size(8,3) = %d", s)
+	}
+	if s := Size(-1, 0); s != 1 {
+		t.Fatalf("Size(-1,0) = %d", s)
+	}
+}
