@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/sim"
 	"repro/internal/timegrid"
 	"repro/internal/workload"
 )
@@ -41,6 +42,13 @@ type (
 	// heuristic, Terra, Jahanjou, Sincronia greedy, …) reports through
 	// it, so algorithms compare side by side.
 	SchedulerResult = engine.Result
+	// SimOptions tune the online discrete-event simulator: the policy
+	// name, the epoch re-planning period, and the knobs handed down to
+	// wrapped engine schedulers.
+	SimOptions = sim.Options
+	// SimResult reports an online simulation: per-coflow completion
+	// times, weighted/average CCT, makespan, and the event trace.
+	SimResult = sim.Result
 )
 
 // Transmission models (Section 2 of the paper). MultiPath is the
@@ -168,3 +176,23 @@ func ScheduleWith(ctx context.Context, name string, inst *Instance, mode Transmi
 // UniformGrid exposes grid construction for callers that size the time
 // expansion themselves.
 func UniformGrid(slots int) timegrid.Grid { return timegrid.Uniform(slots) }
+
+// Simulate runs the online discrete-event simulator (internal/sim) on
+// the instance in the single path model: coflows are revealed at their
+// release times, the policy's rate allocation is refreshed at every
+// event (arrivals, flow completions, epoch ticks), and planning
+// policies recompute their priority order at arrivals and epoch
+// ticks. Unlike the Schedule* facades —
+// which hand the whole instance to a clairvoyant offline algorithm —
+// Simulate measures what a scheduler can do without knowing the
+// future. Results are in the same slot units as offline schedules, so
+// the two compare directly.
+func Simulate(ctx context.Context, inst *Instance, opt SimOptions) (*SimResult, error) {
+	return sim.Simulate(ctx, inst, opt)
+}
+
+// SimPolicies lists the online policy names Simulate accepts:
+// "fair", "fifo", "las", "sincronia-online", and one
+// "epoch:<scheduler>" re-planning adapter per compatible engine
+// scheduler.
+func SimPolicies() []string { return sim.Names() }

@@ -144,3 +144,52 @@ func TestFacadeWorkersDeterministic(t *testing.T) {
 		t.Fatalf("worker count changed results: %+v vs %+v", a.Stretch, b.Stretch)
 	}
 }
+
+// TestSimulateFacade: the online simulator is reachable from the root
+// package and its policy registry is populated.
+func TestSimulateFacade(t *testing.T) {
+	in := smallInstance(t, true)
+	res, err := Simulate(context.Background(), in, SimOptions{Policy: "las"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "las" || res.Makespan <= 0 || len(res.Completions) != len(in.Coflows) {
+		t.Fatalf("bad result %+v", res)
+	}
+	names := SimPolicies()
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{"fifo", "las", "fair", "sincronia-online", "epoch:stretch"} {
+		if !seen[want] {
+			t.Fatalf("SimPolicies() = %v missing %q", names, want)
+		}
+	}
+}
+
+// TestSimulateVsOfflineUnits: online and offline results share units —
+// on a zero-release instance the epoch adapter must land within 2× of
+// the clairvoyant engine run (the ISSUE acceptance bound).
+func TestSimulateVsOfflineUnits(t *testing.T) {
+	in, err := GenerateWorkload(WorkloadConfig{
+		Kind: FB, Graph: NewSWAN(1), NumCoflows: 4, Seed: 3, AssignPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := ScheduleWith(context.Background(), "stretch", in, SinglePath,
+		SchedOptions{MaxSlots: 16, Trials: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Simulate(context.Background(), in, SimOptions{
+		Policy: "epoch:stretch", MaxSlots: 16, Trials: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.WeightedCCT > 2*off.Weighted {
+		t.Fatalf("online %.3f > 2x offline %.3f", on.WeightedCCT, off.Weighted)
+	}
+}

@@ -254,3 +254,30 @@ func BenchmarkJahanjou(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimulateFB tracks the online event loop's throughput
+// (events/sec) on an FB workload with the LP-free online Sincronia
+// policy, so regressions in the simulator's per-event work show up
+// independently of LP solver cost.
+func BenchmarkSimulateFB(b *testing.B) {
+	in, err := workload.Generate(workload.Config{
+		Kind: workload.FB, Graph: NewSWAN(1), NumCoflows: 32, Seed: 6,
+		MeanInterarrival: 0.5, AssignPaths: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(context.Background(), in, SimOptions{Policy: "sincronia-online"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkFigureO1 regenerates the online load sweep.
+func BenchmarkFigureO1(b *testing.B) { benchFigure(b, experiments.FigureO1) }

@@ -5,18 +5,26 @@
 // Usage:
 //
 //	coflowsim -figure 9                  # regenerate Figure 9 (text table)
-//	coflowsim -figure all -csv out/      # all figures, CSV per figure
+//	coflowsim -figure all -csv out/      # all figures (incl. O1), CSV per figure
+//	coflowsim -figure o1                 # online load sweep (internal/sim)
 //	coflowsim -gen fb -coflows 20 -topology gscale -out inst.json
 //	coflowsim -run inst.json -model free -trials 20
 //	coflowsim -scheduler list            # names in the engine registry
 //	coflowsim -scheduler stretch         # run one engine scheduler
 //	coflowsim -scheduler all -model single -coflows 8
+//	coflowsim -online -policy list       # names in the sim policy registry
+//	coflowsim -online -policy all -workload FB
+//	coflowsim -online -policy epoch:stretch -epoch 2 -load 1.0
 //
 // Scale flags (-coflows, -free-coflows, -slots, -trials, -seed,
 // -workers) apply to figure regeneration; defaults are laptop-sized
 // (see internal/experiments). -scheduler runs the named engine
 // scheduler (or every compatible one with "all") on the -run instance
-// if given, otherwise on a freshly generated workload.
+// if given, otherwise on a freshly generated workload. -online runs
+// the discrete-event simulator instead: coflows are revealed at their
+// release times and the -policy list is compared against a clairvoyant
+// offline run; -load sets the arrival rate (coflows per slot) of the
+// generated workload and -epoch the re-planning period.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/sim"
 	"repro/internal/workload"
 
 	repro "repro"
@@ -42,7 +51,7 @@ import (
 
 func main() {
 	var (
-		figure      = flag.String("figure", "", "figure to regenerate: 6..12 or 'all'")
+		figure      = flag.String("figure", "", "figure to regenerate: 6..12, o1, or 'all'")
 		csvDir      = flag.String("csv", "", "directory to write CSV outputs (with -figure)")
 		coflows     = flag.Int("coflows", 0, "single path coflow count (0 = default)")
 		freeCoflows = flag.Int("free-coflows", 0, "free path coflow count (0 = default)")
@@ -54,6 +63,12 @@ func main() {
 		verbose     = flag.Bool("v", false, "log progress")
 
 		scheduler = flag.String("scheduler", "", "engine scheduler to run: list|all|<name>[,<name>…]")
+
+		online    = flag.Bool("online", false, "run the online discrete-event simulator")
+		policy    = flag.String("policy", "all", "online policy for -online: list|all|<name>[,<name>…]")
+		epoch     = flag.Float64("epoch", 0, "re-planning period in slots for epoch policies (0 = arrivals only)")
+		load      = flag.Float64("load", 0, "coflow arrival rate in coflows/slot for -online (0 = default)")
+		workloadF = flag.String("workload", "fb", "workload for -online: bigbench|tpcds|tpch|fb")
 
 		gen      = flag.String("gen", "", "generate a workload: bigbench|tpcds|tpch|fb")
 		topology = flag.String("topology", "swan", "topology for -gen: swan|gscale")
@@ -67,6 +82,22 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *online:
+		// The simulator runs in the single path model; reject an
+		// explicit conflicting -model instead of silently ignoring it.
+		modelSet := false
+		flag.Visit(func(f *flag.Flag) { modelSet = modelSet || f.Name == "model" })
+		if modelSet && strings.ToLower(*modelFlag) != "single" {
+			fatal(fmt.Errorf("-online simulates the single path model; -model %s is not supported", *modelFlag))
+		}
+		err := runOnline(onlineArgs{
+			spec: *policy, runFile: *runFile, kind: *workloadF, topology: *topology,
+			coflows: *coflows, epoch: *epoch, load: *load,
+			slots: *slots, trials: *trials, seed: *seed, workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	case *scheduler != "":
 		err := runSchedulers(schedulerArgs{
 			spec: *scheduler, runFile: *runFile, modelStr: *modelFlag,
@@ -125,23 +156,35 @@ func fatal(err error) {
 }
 
 func runFigures(spec string, cfg experiments.Config, csvDir string) error {
-	var nums []int
-	if spec == "all" {
+	type figure struct {
+		name string
+		fn   func(experiments.Config) (*experiments.FigureResult, error)
+	}
+	var figs []figure
+	switch {
+	case spec == "all":
+		var nums []int
 		for n := range experiments.Figures {
 			nums = append(nums, n)
 		}
 		sort.Ints(nums)
-	} else {
+		for _, n := range nums {
+			figs = append(figs, figure{strconv.Itoa(n), experiments.Figures[n]})
+		}
+		figs = append(figs, figure{"O1", experiments.FigureO1})
+	case strings.EqualFold(spec, "o1"):
+		figs = []figure{{"O1", experiments.FigureO1}}
+	default:
 		n, err := strconv.Atoi(spec)
 		if err != nil || experiments.Figures[n] == nil {
-			return fmt.Errorf("unknown figure %q (have 6..12)", spec)
+			return fmt.Errorf("unknown figure %q (have 6..12, o1)", spec)
 		}
-		nums = []int{n}
+		figs = []figure{{spec, experiments.Figures[n]}}
 	}
-	for _, n := range nums {
-		res, err := experiments.Figures[n](cfg)
+	for _, fig := range figs {
+		res, err := fig.fn(cfg)
 		if err != nil {
-			return fmt.Errorf("figure %d: %w", n, err)
+			return fmt.Errorf("figure %s: %w", fig.name, err)
 		}
 		if err := res.Render(os.Stdout); err != nil {
 			return err
@@ -150,7 +193,7 @@ func runFigures(spec string, cfg experiments.Config, csvDir string) error {
 			if err := os.MkdirAll(csvDir, 0o755); err != nil {
 				return err
 			}
-			path := filepath.Join(csvDir, fmt.Sprintf("figure%d.csv", n))
+			path := filepath.Join(csvDir, fmt.Sprintf("figure%s.csv", fig.name))
 			f, err := os.Create(path)
 			if err != nil {
 				return err
@@ -267,57 +310,28 @@ func runSchedulers(a schedulerArgs) error {
 	if err != nil {
 		return err
 	}
-	var in *coflow.Instance
-	switch {
-	case a.runFile != "":
-		if in, err = loadInstance(a.runFile); err != nil {
-			return err
-		}
-	default:
-		kindStr := a.genKind
-		if kindStr == "" {
-			kindStr = "fb"
-		}
-		kind, err := parseKind(kindStr)
-		if err != nil {
-			return err
-		}
-		g, err := parseTopology(a.topology)
-		if err != nil {
-			return err
-		}
-		n := a.coflows
-		if n <= 0 {
-			n = 8
-		}
-		if in, err = workload.Generate(workload.Config{
-			Kind: kind, Graph: g, NumCoflows: n, Seed: a.seed,
-			MeanInterarrival: 1.5, AssignPaths: mode == coflow.SinglePath,
-		}); err != nil {
-			return err
-		}
-		if mode == coflow.MultiPath {
-			if err := in.AssignKShortestPaths(3); err != nil {
-				return err
-			}
-		}
+	// Validate every requested name up front, so a typo fails with the
+	// registry listing before any instance is generated or scheduled.
+	names, err := resolveSchedulers(a.spec, mode)
+	if err != nil {
+		return err
 	}
-	var names []string
-	if a.spec == "all" {
-		for _, name := range engine.Names() {
-			if s, err := engine.Get(name); err == nil && s.Supports(mode) {
-				names = append(names, name)
-			}
+	in, err := buildInstance(a.runFile, a.genKind, a.topology, a.coflows, a.seed,
+		1.5, mode == coflow.SinglePath)
+	if err != nil {
+		return err
+	}
+	if a.runFile == "" && mode == coflow.MultiPath {
+		if err := in.AssignKShortestPaths(3); err != nil {
+			return err
 		}
-	} else {
-		names = strings.Split(a.spec, ",")
 	}
 	opt := repro.SchedOptions{MaxSlots: a.slots, Trials: a.trials, Seed: a.seed, Workers: a.workers}
 	fmt.Printf("model: %v, coflows: %d (%d flows)\n\n", mode, len(in.Coflows), in.NumFlows())
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scheduler\tweighted ΣwC\ttotal ΣC\tLP bound")
 	for _, name := range names {
-		res, err := repro.ScheduleWith(context.Background(), strings.TrimSpace(name), in, mode, opt)
+		res, err := repro.ScheduleWith(context.Background(), name, in, mode, opt)
 		if err != nil {
 			return err
 		}
@@ -328,6 +342,117 @@ func runSchedulers(a schedulerArgs) error {
 		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%s\n", res.Scheduler, res.Weighted, res.Total, bound)
 	}
 	return tw.Flush()
+}
+
+// resolveSchedulers expands a -scheduler spec ("all" or a
+// comma-separated list) into validated engine registry names. Unknown
+// names fail immediately with the full registry listing (via
+// engine.Get), and explicitly requested schedulers that don't support
+// the model are rejected rather than silently skipped.
+func resolveSchedulers(spec string, mode coflow.Model) ([]string, error) {
+	var names []string
+	if spec == "all" {
+		return engine.NamesSupporting(mode), nil
+	}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		s, err := engine.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if !s.Supports(mode) {
+			return nil, fmt.Errorf("scheduler %q does not support the %v model", name, mode)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// resolvePolicies expands a -policy spec into validated sim policy
+// names; unknown names fail with the policy registry listing.
+func resolvePolicies(spec string, opt sim.Options) ([]string, error) {
+	if spec == "" || spec == "all" {
+		return sim.Names(), nil
+	}
+	var names []string
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := sim.New(name, opt); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// buildInstance is the shared instance source of the -scheduler and
+// -online branches: the runFile when given, otherwise a freshly
+// generated workload (kind defaults to fb, coflow count to 8) with
+// Poisson releases at the given mean interarrival.
+func buildInstance(runFile, kindStr, topoStr string, coflows int, seed int64, interarrival float64, assignPaths bool) (*coflow.Instance, error) {
+	if runFile != "" {
+		return loadInstance(runFile)
+	}
+	if kindStr == "" {
+		kindStr = "fb"
+	}
+	kind, err := parseKind(kindStr)
+	if err != nil {
+		return nil, err
+	}
+	g, err := parseTopology(topoStr)
+	if err != nil {
+		return nil, err
+	}
+	if coflows <= 0 {
+		coflows = 8
+	}
+	return workload.Generate(workload.Config{
+		Kind: kind, Graph: g, NumCoflows: coflows, Seed: seed,
+		MeanInterarrival: interarrival, AssignPaths: assignPaths,
+	})
+}
+
+// onlineArgs bundles the flag values the -online branch needs.
+type onlineArgs struct {
+	spec, runFile, kind, topology   string
+	coflows, slots, trials, workers int
+	epoch, load                     float64
+	seed                            int64
+}
+
+// runOnline drives the discrete-event simulator: it compares every
+// requested policy on one instance (the -run file when given,
+// otherwise a Poisson-release workload at the -load arrival rate)
+// against the clairvoyant offline Stretch pipeline.
+func runOnline(a onlineArgs) error {
+	if a.spec == "list" {
+		for _, name := range sim.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	simOpt := sim.Options{
+		Epoch: a.epoch, MaxSlots: a.slots, Trials: a.trials,
+		Seed: a.seed, Workers: a.workers,
+	}
+	names, err := resolvePolicies(a.spec, simOpt)
+	if err != nil {
+		return err
+	}
+	interarrival := 1.5
+	if a.load > 0 {
+		interarrival = 1 / a.load
+	}
+	in, err := buildInstance(a.runFile, a.kind, a.topology, a.coflows, a.seed, interarrival, true)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.OnlineComparison(context.Background(), in, names, simOpt, "stretch")
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
 }
 
 func runInstance(path, modelStr string, trials int, seed int64, slots, workers int, withTerra bool) error {

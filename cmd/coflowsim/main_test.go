@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coflow"
+	"repro/internal/sim"
+)
+
+func TestResolveSchedulersUnknownListsRegistry(t *testing.T) {
+	_, err := resolveSchedulers("bogus", coflow.SinglePath)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"stretch", "heuristic", "sincronia-greedy"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestResolveSchedulersRejectsUnsupportedModel(t *testing.T) {
+	if _, err := resolveSchedulers("terra", coflow.SinglePath); err == nil {
+		t.Fatal("terra is free-path only; expected error")
+	}
+	names, err := resolveSchedulers(" stretch , heuristic ", coflow.FreePath)
+	if err != nil || len(names) != 2 || names[0] != "stretch" {
+		t.Fatalf("names = %v, err = %v", names, err)
+	}
+}
+
+func TestResolvePoliciesUnknownListsRegistry(t *testing.T) {
+	_, err := resolvePolicies("nope", sim.Options{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"las", "fair", "epoch:stretch"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %q", err, want)
+		}
+	}
+	all, err := resolvePolicies("all", sim.Options{})
+	if err != nil || len(all) == 0 {
+		t.Fatalf("all = %v, err = %v", all, err)
+	}
+}

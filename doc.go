@@ -15,6 +15,12 @@
 // roundings run on a worker pool with per-trial RNGs derived from the
 // seed, so results are reproducible at any SchedOptions.Workers.
 //
+// Simulate runs the online counterpart (internal/sim): a
+// discrete-event simulator that reveals coflows at their release times
+// and re-plans with a named policy — non-clairvoyant baselines, online
+// Sincronia, or an epoch adapter around any engine scheduler
+// (SimPolicies lists them).
+//
 // This root package is a thin facade over the internal packages; see
 // README.md for the architecture and cmd/coflowsim for the experiment
 // driver that regenerates every figure of the paper.

@@ -143,6 +143,18 @@ func Names() []string {
 	return names
 }
 
+// NamesSupporting lists registered schedulers that support the model,
+// in sorted order.
+func NamesSupporting(m coflow.Model) []string {
+	var names []string
+	for _, n := range Names() {
+		if s, err := Get(n); err == nil && s.Supports(m) {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
 // Schedule runs the named scheduler after checking model support.
 func Schedule(ctx context.Context, name string, inst *coflow.Instance, mode coflow.Model, opt Options) (*Result, error) {
 	s, err := Get(name)

@@ -26,6 +26,9 @@
 //	Figure 11 — free path, SWAN, unit weights: LP / heuristic / Best λ /
 //	            Average λ / Terra (total completion time)
 //	Figure 12 — as Figure 11 on G-Scale
+//	Figure O1 — online load sweep (internal/sim): arrival-rate ×
+//	            workload cells on SWAN, avg per-coflow slowdown of each
+//	            online policy vs the clairvoyant offline greedy
 package experiments
 
 import (
@@ -36,6 +39,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"unicode/utf8"
 
 	"repro/internal/baselines"
 	"repro/internal/coflow"
@@ -67,6 +71,9 @@ type Config struct {
 	MeanInterarrival float64
 	// EpsSweep lists the ε values for Figure 8.
 	EpsSweep []float64
+	// Loads lists the coflow arrival rates (coflows per slot) for the
+	// online load sweep (Figure O1).
+	Loads []float64
 	// Workers bounds the goroutines used to fan instances and Stretch
 	// trials out (≤ 0 = GOMAXPROCS). Figure data is identical at any
 	// worker count; only wall-clock time changes.
@@ -89,6 +96,7 @@ func Default() Config {
 		Seed:             2019,
 		MeanInterarrival: 1.5,
 		EpsSweep:         []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Loads:            []float64{0.25, 0.5, 1.0, 2.0},
 	}
 }
 
@@ -101,6 +109,7 @@ func Small() Config {
 	c.Trials = 5
 	c.MeanInterarrival = 1
 	c.EpsSweep = []float64{0.2, 0.5436, 1.0}
+	c.Loads = []float64{1.0}
 	return c
 }
 
@@ -126,6 +135,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.EpsSweep) == 0 {
 		c.EpsSweep = d.EpsSweep
+	}
+	if len(c.Loads) == 0 {
+		c.Loads = d.Loads
 	}
 	return c
 }
@@ -155,32 +167,82 @@ type FigureResult struct {
 	Rows   []Row
 }
 
+// padLeft right-aligns s in a cell of `width` visible characters.
+// fmt's %*s pads by bytes, which under-pads any header containing a
+// multi-byte rune (the figure series use 'Σ', 'λ', 'ε').
+func padLeft(s string, width int) string {
+	if n := utf8.RuneCountInString(s); n < width {
+		return strings.Repeat(" ", width-n) + s
+	}
+	return s
+}
+
+// padRight left-aligns s in a cell of `width` visible characters.
+func padRight(s string, width int) string {
+	if n := utf8.RuneCountInString(s); n < width {
+		return s + strings.Repeat(" ", width-n)
+	}
+	return s
+}
+
 // Render writes an aligned text table.
 func (r *FigureResult) Render(w io.Writer) error {
 	width := 12
 	for _, s := range r.Series {
-		if len(s)+2 > width {
-			width = len(s) + 2
+		if n := utf8.RuneCountInString(s) + 2; n > width {
+			width = n
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s\n%s\n", r.Name, strings.Repeat("=", len(r.Name))); err != nil {
+	label := 12
+	for _, row := range r.Rows {
+		if n := utf8.RuneCountInString(row.Label) + 2; n > label {
+			label = n
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", r.Name, strings.Repeat("=", utf8.RuneCountInString(r.Name))); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-12s", "")
+	fmt.Fprint(w, padRight("", label))
 	for _, s := range r.Series {
-		fmt.Fprintf(w, "%*s", width, s)
+		fmt.Fprint(w, padLeft(s, width))
 	}
 	fmt.Fprintln(w)
+	// Pick one format per column: counts print as integers, small
+	// magnitudes (ratios like the online slowdown columns) get more
+	// precision than big objectives, and no column mixes formats.
+	format := make(map[string]string, len(r.Series))
+	for _, s := range r.Series {
+		integral, small := true, true
+		for _, row := range r.Rows {
+			v, ok := row.Values[s]
+			if !ok || math.IsNaN(v) {
+				continue
+			}
+			if v != math.Trunc(v) {
+				integral = false
+			}
+			if math.Abs(v) >= 10 {
+				small = false
+			}
+		}
+		switch {
+		case integral:
+			format[s] = "%.0f"
+		case small:
+			format[s] = "%.3f"
+		default:
+			format[s] = "%.1f"
+		}
+	}
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-12s", row.Label)
+		fmt.Fprint(w, padRight(row.Label, label))
 		for _, s := range r.Series {
 			v, ok := row.Values[s]
-			switch {
-			case !ok || math.IsNaN(v):
-				fmt.Fprintf(w, "%*s", width, "-")
-			default:
-				fmt.Fprintf(w, "%*.1f", width, v)
+			if !ok || math.IsNaN(v) {
+				fmt.Fprint(w, padLeft("-", width))
+				continue
 			}
+			fmt.Fprint(w, padLeft(fmt.Sprintf(format[s], v), width))
 		}
 		fmt.Fprintln(w)
 	}

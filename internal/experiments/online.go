@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"repro/internal/coflow"
+	"repro/internal/engine"
+	"repro/internal/pool"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Online evaluation ("Figure O1"): the paper's workloads carry Poisson
+// release times that the offline figures reveal to the scheduler
+// upfront; here the internal/sim simulator reveals them at arrival and
+// measures the price of being online. See the figure index in the
+// package comment.
+
+// O1Policies are the policies the load sweep compares: the three
+// non-clairvoyant baselines, the online Sincronia re-ordering, and the
+// epoch re-planning adapter over the LP-free offline greedy (so the
+// sweep stays LP-free and fast at default scale).
+var O1Policies = []string{
+	sim.NameFIFO,
+	sim.NameLAS,
+	sim.NameFair,
+	sim.NameSincroniaOnline,
+	"epoch:sincronia-greedy",
+}
+
+// O1Offline is the clairvoyant reference scheduler slowdowns are
+// measured against in the load sweep.
+const O1Offline = "sincronia-greedy"
+
+// SeriesOffline labels the clairvoyant reference column.
+const SeriesOffline = "Offline ΣwC"
+
+// OnlineComparison runs each named sim policy on one instance and
+// tabulates absolute weighted CCT, average CCT (response time),
+// makespan, and — when offline names an engine scheduler — the average
+// per-coflow slowdown against a clairvoyant run of that scheduler's
+// epoch adapter. The reference runs through the same continuous-time
+// simulator (sim.Options.Clairvoyant) so the slowdown isolates the
+// cost of not knowing the future instead of mixing in the slot
+// quantization of offline schedules; the engine's slotted ΣwC is
+// reported alongside for scale.
+func OnlineComparison(ctx context.Context, in *coflow.Instance, policies []string, opt sim.Options, offline string) (*FigureResult, error) {
+	// Normalize here so the offline reference sees sim's lighter trial
+	// default (5) rather than the engine's offline default (20).
+	opt = opt.Normalize()
+	res := &FigureResult{
+		Name:   fmt.Sprintf("Online comparison: %d coflows (%d flows), epoch=%g", len(in.Coflows), in.NumFlows(), opt.Epoch),
+		Series: []string{"Weighted ΣwC", "Avg CCT", "Makespan", "Replans"},
+	}
+	var offCompletions []float64
+	if offline != "" {
+		off, err := engine.Schedule(ctx, offline, in, coflow.SinglePath, engine.Options{
+			MaxSlots: opt.MaxSlots, Trials: opt.Trials, Seed: opt.Seed, Workers: opt.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: offline reference %s: %w", offline, err)
+		}
+		ref, err := clairvoyantReference(ctx, in, offline, opt)
+		if err != nil {
+			return nil, err
+		}
+		offCompletions = ref.Completions
+		res.Series = append(res.Series, "Slowdown")
+		res.Rows = append(res.Rows, Row{
+			Label: "offline:" + offline,
+			Values: map[string]float64{
+				"Weighted ΣwC": ref.WeightedCCT,
+				"Avg CCT":      ref.AvgCCT,
+				"Makespan":     ref.Makespan,
+				"Slowdown":     1,
+			},
+		})
+		res.Rows = append(res.Rows, Row{
+			Label: "offline:" + offline + " (slotted)",
+			Values: map[string]float64{
+				"Weighted ΣwC": off.Weighted,
+				"Makespan":     slices.Max(off.Completions),
+			},
+		})
+	}
+	for _, name := range policies {
+		o := opt
+		o.Policy = name
+		r, err := sim.Simulate(ctx, in, o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy %s: %w", name, err)
+		}
+		row := Row{Label: name, Values: map[string]float64{
+			"Weighted ΣwC": r.WeightedCCT,
+			"Avg CCT":      r.AvgCCT,
+			"Makespan":     r.Makespan,
+			"Replans":      float64(r.Replans),
+		}}
+		if offCompletions != nil {
+			s, err := sim.Slowdown(r, offCompletions)
+			if err != nil {
+				return nil, err
+			}
+			row.Values["Slowdown"] = s
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// clairvoyantReference runs the epoch adapter of the named engine
+// scheduler in clairvoyant mode: the full instance is revealed at t=0
+// (service still honors releases) and the run advances in the same
+// continuous time as the online policies it is compared against.
+func clairvoyantReference(ctx context.Context, in *coflow.Instance, offline string, opt sim.Options) (*sim.Result, error) {
+	o := opt
+	o.Policy = "epoch:" + offline
+	o.Clairvoyant = true
+	ref, err := sim.Simulate(ctx, in, o)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: clairvoyant reference %s: %w", offline, err)
+	}
+	return ref, nil
+}
+
+// FigureO1 is the online load sweep: one cell per (workload,
+// arrival-rate) pair on SWAN in the single path model. Each cell
+// generates a Poisson-release instance at that load, runs every
+// O1Policies member through the online simulator, and reports the
+// average per-coflow slowdown against a clairvoyant continuous-time
+// run of the O1Offline scheduler's epoch adapter, next to that
+// reference's weighted CCT for scale. Cells fan out over the worker
+// pool with per-cell derived seeds, so the table is bit-identical at
+// any Config.Workers.
+func FigureO1(c Config) (*FigureResult, error) {
+	c = c.withDefaults()
+	g, err := topologyFor("SWAN")
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{
+		Name:   "Figure O1: online load sweep on SWAN (avg slowdown vs clairvoyant " + O1Offline + ")",
+		Series: append([]string{SeriesOffline}, O1Policies...),
+	}
+	type cell struct {
+		kind workload.Kind
+		load float64
+	}
+	var cells []cell
+	for _, kind := range workload.Kinds {
+		for _, load := range c.Loads {
+			cells = append(cells, cell{kind, load})
+		}
+	}
+	rows, err := pool.Map(context.Background(), len(cells), c.Workers, func(i int) (Row, error) {
+		kind, load := cells[i].kind, cells[i].load
+		label := fmt.Sprintf("%s λ=%.2g", kind, load)
+		c.logf("Figure O1: %s", label)
+		in, err := workload.Generate(workload.Config{
+			Kind: kind, Graph: g, NumCoflows: c.SingleCoflows,
+			Seed:             stats.SubSeed(c.Seed, 0xC0F*uint64(i)+1),
+			MeanInterarrival: 1 / load,
+			AssignPaths:      true,
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		ctx := context.Background()
+		off, err := clairvoyantReference(ctx, in, O1Offline, sim.Options{
+			MaxSlots: c.MaxSlots, Seed: c.Seed, Workers: 1,
+		})
+		if err != nil {
+			return Row{}, fmt.Errorf("O1 %s: %w", label, err)
+		}
+		row := Row{Label: label, Values: map[string]float64{SeriesOffline: off.WeightedCCT}}
+		for _, name := range O1Policies {
+			r, err := sim.Simulate(ctx, in, sim.Options{
+				Policy: name, MaxSlots: c.MaxSlots,
+				Seed: stats.SubSeed(c.Seed, uint64(i)), Workers: 1,
+			})
+			if err != nil {
+				return Row{}, fmt.Errorf("O1 %s (%s): %w", label, name, err)
+			}
+			s, err := sim.Slowdown(r, off.Completions)
+			if err != nil {
+				return Row{}, err
+			}
+			row.Values[name] = s
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}

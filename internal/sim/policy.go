@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/coflow"
+)
+
+// Registry names of the built-in policies. Epoch adapters are named
+// dynamically as "epoch:<engine-scheduler>" (see adapter.go).
+const (
+	NameFIFO            = "fifo"
+	NameLAS             = "las"
+	NameFair            = "fair"
+	NameSincroniaOnline = "sincronia-online"
+)
+
+// Factory builds a policy instance for one simulation run. Policies
+// may carry per-run caches, so a fresh instance is built per Simulate.
+type Factory func(opt Options) (Policy, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a policy factory under name. Duplicate registration
+// panics: it is a programming error, caught at init time.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate policy %q", name))
+	}
+	registry[name] = f
+}
+
+func init() {
+	Register(NameFIFO, func(Options) (Policy, error) {
+		return orderPolicy{name: NameFIFO, order: fifoOrder}, nil
+	})
+	Register(NameLAS, func(Options) (Policy, error) {
+		return orderPolicy{name: NameLAS, order: lasOrder}, nil
+	})
+	Register(NameFair, func(Options) (Policy, error) {
+		return fairPolicy{}, nil
+	})
+	Register(NameSincroniaOnline, func(Options) (Policy, error) {
+		return &sincroniaOnline{}, nil
+	})
+}
+
+// Names lists every selectable policy, sorted: the registered names
+// plus one "epoch:<name>" adapter per single-path-capable engine
+// scheduler.
+func Names() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	regMu.RUnlock()
+	names = append(names, adapterNames()...)
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named policy. Unknown names produce an error listing
+// everything selectable.
+func New(name string, opt Options) (Policy, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if ok {
+		return f(opt)
+	}
+	if strings.HasPrefix(name, adapterPrefix) {
+		return newAdapter(strings.TrimPrefix(name, adapterPrefix), opt)
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q (have %v)", name, Names())
+}
+
+// PriorityRates converts a coflow priority order into rates by strict
+// water-filling: walking the order, each available flow is granted the
+// residual bottleneck capacity along its path. Capacity a high-priority
+// coflow cannot use flows down to later coflows, so the allocation is
+// work-conserving. Coflows in the order that are finished or absent
+// are skipped, so stale cached orders are safe.
+func PriorityRates(st *State, order []int) [][]float64 {
+	g := st.Inst.Graph
+	residual := make([]float64, g.NumEdges())
+	for _, e := range g.Edges() {
+		residual[e.ID] = e.Capacity
+	}
+	rates := make([][]float64, len(st.Inst.Coflows))
+	for _, j := range order {
+		c := &st.Inst.Coflows[j]
+		for i := range c.Flows {
+			if st.Remaining[j][i] <= eps || !st.Available(j, i) {
+				continue
+			}
+			r := residual[c.Flows[i].Path[0]]
+			for _, e := range c.Flows[i].Path[1:] {
+				if residual[e] < r {
+					r = residual[e]
+				}
+			}
+			if r <= eps {
+				continue
+			}
+			if rates[j] == nil {
+				rates[j] = make([]float64, len(c.Flows))
+			}
+			rates[j][i] = r
+			for _, e := range c.Flows[i].Path {
+				residual[e] -= r
+			}
+		}
+	}
+	return rates
+}
+
+// orderPolicy derives rates from a priority order recomputed at every
+// event (the order functions are O(n log n), so caching buys nothing).
+type orderPolicy struct {
+	name  string
+	order func(st *State) []int
+}
+
+func (p orderPolicy) Name() string { return p.name }
+func (p orderPolicy) Allocate(_ context.Context, st *State) ([][]float64, error) {
+	return PriorityRates(st, p.order(st)), nil
+}
+
+// fifoOrder serves coflows in arrival order (ties by index): the
+// simplest non-clairvoyant baseline.
+func fifoOrder(st *State) []int {
+	order := append([]int(nil), st.Active...)
+	sort.SliceStable(order, func(a, b int) bool {
+		return st.Arrival[order[a]] < st.Arrival[order[b]]
+	})
+	return order
+}
+
+// lasOrder prioritizes the coflow with the least attained service —
+// the non-clairvoyant stand-in for shortest-first used by Bhimaraju,
+// Nayak & Vaze (2020): without knowing demands, the coflow that has
+// received the least data so far is the best guess at the shortest
+// one. Ties break by arrival, then index.
+func lasOrder(st *State) []int {
+	order := append([]int(nil), st.Active...)
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := order[a], order[b]
+		if st.Attained[ja] != st.Attained[jb] {
+			return st.Attained[ja] < st.Attained[jb]
+		}
+		return st.Arrival[ja] < st.Arrival[jb]
+	})
+	return order
+}
+
+// fairPolicy is the work-conserving max-min fair share: progressive
+// filling raises every available flow's rate uniformly until an edge
+// saturates, freezes the flows through it, and repeats on the rest —
+// the per-flow fairness a network with no coflow scheduler would give.
+type fairPolicy struct{}
+
+func (fairPolicy) Name() string { return NameFair }
+func (fairPolicy) Allocate(_ context.Context, st *State) ([][]float64, error) {
+	g := st.Inst.Graph
+	residual := make([]float64, g.NumEdges())
+	for _, e := range g.Edges() {
+		residual[e.ID] = e.Capacity
+	}
+	type liveFlow struct {
+		j, i   int
+		frozen bool
+	}
+	var live []liveFlow
+	for _, j := range st.Active {
+		c := &st.Inst.Coflows[j]
+		for i := range c.Flows {
+			if st.Remaining[j][i] > eps && st.Available(j, i) {
+				live = append(live, liveFlow{j: j, i: i})
+			}
+		}
+	}
+	rates := make([][]float64, len(st.Inst.Coflows))
+	for _, lf := range live {
+		if rates[lf.j] == nil {
+			rates[lf.j] = make([]float64, len(st.Inst.Coflows[lf.j].Flows))
+		}
+	}
+	count := make([]int, g.NumEdges())
+	for unfrozen := len(live); unfrozen > 0; {
+		for e := range count {
+			count[e] = 0
+		}
+		for _, lf := range live {
+			if lf.frozen {
+				continue
+			}
+			for _, e := range st.Inst.Coflows[lf.j].Flows[lf.i].Path {
+				count[e]++
+			}
+		}
+		delta := -1.0
+		for e, n := range count {
+			if n == 0 {
+				continue
+			}
+			if share := residual[e] / float64(n); delta < 0 || share < delta {
+				delta = share
+			}
+		}
+		if delta > 0 {
+			for i := range live {
+				if live[i].frozen {
+					continue
+				}
+				rates[live[i].j][live[i].i] += delta
+				for _, e := range st.Inst.Coflows[live[i].j].Flows[live[i].i].Path {
+					residual[e] -= delta
+				}
+			}
+		}
+		// Freeze flows through saturated edges; every round freezes at
+		// least one flow, so the loop terminates.
+		frozeAny := false
+		for i := range live {
+			if live[i].frozen {
+				continue
+			}
+			for _, e := range st.Inst.Coflows[live[i].j].Flows[live[i].i].Path {
+				if residual[e] <= eps {
+					live[i].frozen = true
+					unfrozen--
+					frozeAny = true
+					break
+				}
+			}
+		}
+		if !frozeAny {
+			// No edge saturated (delta ≤ 0 with residual slack cannot
+			// happen, but guard against float drift).
+			break
+		}
+	}
+	return rates, nil
+}
+
+// sincroniaOnline re-runs the Sincronia BSSI ordering over the
+// currently-known residual instance at every arrival (and epoch tick),
+// then water-fills by that order — the natural online adaptation of
+// the offline bottleneck greedy.
+type sincroniaOnline struct {
+	order []int // cached priority order, original coflow indices
+}
+
+func (*sincroniaOnline) Name() string { return NameSincroniaOnline }
+func (p *sincroniaOnline) Allocate(_ context.Context, st *State) ([][]float64, error) {
+	if st.Replan || p.order == nil {
+		sub, back := ResidualInstance(st)
+		if len(sub.Coflows) == 0 {
+			p.order = []int{}
+			return make([][]float64, len(st.Inst.Coflows)), nil
+		}
+		order := baselines.SincroniaOrder(sub)
+		p.order = make([]int, len(order))
+		for k, s := range order {
+			p.order[k] = back[s]
+		}
+	}
+	return PriorityRates(st, p.order), nil
+}
+
+// ResidualInstance builds the offline sub-instance a planner sees at
+// st.Now: one coflow per active coflow, holding only its unfinished
+// flows with demands set to the residual volume and releases
+// re-expressed relative to now (0 for anything already available).
+// Keeping the relative future releases matters in clairvoyant mode,
+// where not-yet-released coflows are revealed early: a full-information
+// planner must know *when* they become serviceable, not pretend they
+// are available immediately. The second return maps sub-instance
+// coflow indices back to indices in st.Inst.
+func ResidualInstance(st *State) (*coflow.Instance, []int) {
+	sub := &coflow.Instance{Graph: st.Inst.Graph}
+	var back []int
+	for _, j := range st.Active {
+		c := &st.Inst.Coflows[j]
+		nc := coflow.Coflow{ID: c.ID, Weight: c.Weight, Release: math.Max(0, c.Release-st.Now)}
+		for i, fl := range c.Flows {
+			if st.Remaining[j][i] <= eps {
+				continue
+			}
+			nf := fl
+			nf.Demand = st.Remaining[j][i]
+			nf.Release = math.Max(0, c.EffectiveRelease(i)-st.Now)
+			nc.Flows = append(nc.Flows, nf)
+		}
+		if len(nc.Flows) > 0 {
+			sub.Coflows = append(sub.Coflows, nc)
+			back = append(back, j)
+		}
+	}
+	return sub, back
+}

@@ -1,0 +1,518 @@
+// Package sim is an online discrete-event coflow simulator: coflows
+// are revealed to the scheduler at their release times — not at t=0 as
+// in the offline engine — and a pluggable Policy (re-)plans at every
+// event. Between events (coflow arrival, flow release, flow
+// completion, epoch timer) the simulator advances link allocations in
+// continuous, unslotted time at constant per-flow rates, so completion
+// times are exact for piecewise-constant policies.
+//
+// The package ships four policy families (see policy.go and
+// adapter.go):
+//
+//   - "fifo" / "las": non-clairvoyant orderings in the style of
+//     Bhimaraju, Nayak & Vaze (2020) — first-in-first-out and
+//     least-attained-service priority;
+//   - "fair": a work-conserving max-min fair share over all active
+//     flows (progressive filling);
+//   - "sincronia-online": re-runs the Sincronia BSSI ordering of
+//     internal/baselines over the currently-known residual instance at
+//     every arrival;
+//   - "epoch:<scheduler>": wraps any registered engine.Scheduler and
+//     re-plans the residual instance at arrivals and epoch ticks,
+//     turning every offline algorithm in the registry into an online
+//     one.
+//
+// Simulation runs in the single path model (fixed routes), the model
+// all ordering baselines share; times are in slot units, identical to
+// the continuous units of demands and capacities, so online results
+// compare directly against offline engine schedules.
+//
+// Everything is deterministic in (instance, Options): the only
+// randomness lives inside wrapped engine schedulers, which derive
+// per-replan seeds from Options.Seed, so event traces and metrics are
+// bit-identical across runs and at any Options.Workers.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/coflow"
+)
+
+const eps = 1e-9
+
+// Options tune a simulation run.
+type Options struct {
+	// Policy is the registry name ("fifo", "las", "fair",
+	// "sincronia-online", or "epoch:<engine-scheduler>"). Empty means
+	// "las".
+	Policy string
+	// Epoch is the re-planning period for epoch-based policies: in
+	// addition to arrivals, the policy re-plans every Epoch time
+	// units. Zero re-plans on arrivals only.
+	Epoch float64
+	// MaxSlots caps the time grid of wrapped engine schedulers (0 = 48).
+	MaxSlots int
+	// Trials is the Stretch trial count for wrapped LP schedulers.
+	// Online re-planning solves one LP per replan, so the default is a
+	// lighter 5 (0 = 5; negative disables).
+	Trials int
+	// Seed drives the randomness of wrapped engine schedulers; each
+	// replan derives its own sub-seed, so a fixed Seed reproduces the
+	// identical event trace.
+	Seed int64
+	// Workers bounds goroutines inside wrapped schedulers (≤ 0 =
+	// GOMAXPROCS). Traces never depend on the worker count.
+	Workers int
+	// MaxEvents caps the event loop as a runaway guard (0 = 1<<20).
+	MaxEvents int
+	// Clairvoyant reveals every coflow to the policy at t=0 while
+	// service still honors release times, turning any policy into its
+	// clairvoyant counterpart. This is the continuous-time offline
+	// reference slowdowns are measured against: comparing an online
+	// continuous-time run against a slot-quantized offline schedule
+	// would systematically deflate the ratio.
+	Clairvoyant bool
+}
+
+// Normalize fills in defaults.
+func (o Options) Normalize() Options {
+	if o.Policy == "" {
+		o.Policy = NameLAS
+	}
+	if o.MaxSlots == 0 {
+		o.MaxSlots = 48
+	}
+	if o.Trials == 0 {
+		o.Trials = 5
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 1 << 20
+	}
+	return o
+}
+
+// EventKind classifies a trace event.
+type EventKind int
+
+const (
+	// Arrival is a coflow reveal (its release time passed).
+	Arrival EventKind = iota
+	// Completion is a coflow finishing its last flow.
+	Completion
+	// EpochTick is a periodic re-planning timer firing.
+	EpochTick
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Arrival:
+		return "arrival"
+	case Completion:
+		return "completion"
+	case EpochTick:
+		return "epoch"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one entry of the simulation trace.
+type Event struct {
+	Time float64
+	Kind EventKind
+	// Coflow is the instance index of the arriving/completing coflow
+	// (-1 for epoch ticks).
+	Coflow int
+}
+
+// Result reports an online run. All times are absolute (slot units
+// from t=0), so WeightedCCT compares directly with the Weighted field
+// of offline engine results.
+type Result struct {
+	// Policy is the name of the policy that ran.
+	Policy string
+	// Completions[j] is coflow j's completion time.
+	Completions []float64
+	// Arrivals[j] is coflow j's release time. In clairvoyant mode the
+	// reveal to the policy happens at t=0, but Arrivals keeps the
+	// release — it is what response-time metrics subtract.
+	Arrivals []float64
+	// WeightedCCT is Σ_j w_j·C_j.
+	WeightedCCT float64
+	// TotalCCT is Σ_j C_j.
+	TotalCCT float64
+	// AvgCCT is the mean response time, mean_j (C_j − r_j).
+	AvgCCT float64
+	// Makespan is max_j C_j.
+	Makespan float64
+	// Events counts simulator events processed.
+	Events int
+	// Replans counts the planning calls the policy saw with
+	// State.Replan set (arrivals and epoch ticks).
+	Replans int
+	// Trace is the full event sequence, for determinism checks.
+	Trace []Event
+}
+
+// State is the simulator state a Policy sees when planning. Policies
+// must treat everything reachable from State as read-only, and — to
+// stay honestly online — must only inspect coflows listed in Active:
+// unreleased coflows are future information.
+type State struct {
+	// Inst is the full instance (graph + coflows). Unreleased coflows
+	// are present but off-limits.
+	Inst *coflow.Instance
+	// Now is the current simulation time.
+	Now float64
+	// Active lists revealed, unfinished coflow indices in ascending
+	// order.
+	Active []int
+	// Remaining[j][i] is the residual demand of flow i of coflow j.
+	Remaining [][]float64
+	// Attained[j] is the total volume served to coflow j so far (the
+	// least-attained-service statistic).
+	Attained []float64
+	// Arrival[j] is coflow j's release time (when its flows may first
+	// be served). In clairvoyant mode coflows are revealed at t=0 but
+	// Arrival keeps the release.
+	Arrival []float64
+	// Replan is true when this call follows an arrival or epoch tick;
+	// expensive policies may cache their plan between Replan calls.
+	Replan bool
+}
+
+// Available reports whether flow i of active coflow j is released at
+// State.Now (per-flow releases may trail the coflow's reveal).
+func (st *State) Available(j, i int) bool {
+	return st.Inst.Coflows[j].EffectiveRelease(i) <= st.Now+eps
+}
+
+// Policy plans transmissions for the currently-known coflows. Allocate
+// returns per-flow transmission rates, indexed [coflow][flow] over the
+// full instance; rates for finished, unavailable, or unreleased flows
+// are ignored. Implementations must be deterministic in (State,
+// construction Options).
+type Policy interface {
+	// Name is the registry name the policy answers to.
+	Name() string
+	// Allocate returns the rate matrix to use until the next event.
+	Allocate(ctx context.Context, st *State) ([][]float64, error)
+}
+
+// Simulate runs the online simulation of inst under the policy named
+// in opt. The instance must validate in the single path model.
+func Simulate(ctx context.Context, inst *coflow.Instance, opt Options) (*Result, error) {
+	opt = opt.Normalize()
+	if err := inst.Validate(coflow.SinglePath); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	// Epochs below the simulator's time resolution would degenerate
+	// into a tick at every float step; reject them instead.
+	if opt.Epoch != 0 && opt.Epoch < 1e-6 {
+		return nil, fmt.Errorf("sim: epoch %g below the minimum of 1e-6 slots", opt.Epoch)
+	}
+	pol, err := New(opt.Policy, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	g := inst.Graph
+	nc := len(inst.Coflows)
+	caps := make([]float64, g.NumEdges())
+	for _, e := range g.Edges() {
+		caps[e.ID] = e.Capacity
+	}
+
+	st := &State{
+		Inst:      inst,
+		Remaining: make([][]float64, nc),
+		Attained:  make([]float64, nc),
+		Arrival:   make([]float64, nc),
+	}
+	revealed := make([]bool, nc)
+	finished := make([]bool, nc)
+	for j := 0; j < nc; j++ {
+		c := &inst.Coflows[j]
+		st.Remaining[j] = make([]float64, len(c.Flows))
+		for i, fl := range c.Flows {
+			st.Remaining[j][i] = fl.Demand
+		}
+		st.Arrival[j] = c.Release
+	}
+
+	res := &Result{
+		Policy:      opt.Policy,
+		Completions: make([]float64, nc),
+		Arrivals:    append([]float64(nil), st.Arrival...),
+	}
+
+	now := 0.0
+	done := 0
+	nextEpoch := math.Inf(1)
+	if opt.Epoch > 0 {
+		nextEpoch = opt.Epoch
+	}
+	// Scratch buffers for the per-event rate validation, allocated once
+	// to keep the event loop free of per-event garbage.
+	activeBuf := make([]bool, nc)
+	loadBuf := make([]float64, g.NumEdges())
+	for done < nc {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if res.Events >= opt.MaxEvents {
+			return nil, fmt.Errorf("sim: event cap %d reached at t=%g (%d/%d coflows done)",
+				opt.MaxEvents, now, done, nc)
+		}
+		res.Events++
+
+		// Reveal coflows whose release time has passed (all of them at
+		// t=0 in clairvoyant mode).
+		replan := false
+		for j := 0; j < nc; j++ {
+			if !revealed[j] && (opt.Clairvoyant || inst.Coflows[j].Release <= now+eps) {
+				revealed[j] = true
+				replan = true
+				res.Trace = append(res.Trace, Event{Time: now, Kind: Arrival, Coflow: j})
+			}
+		}
+		// Epoch timer. The next tick is computed multiplicatively (the
+		// first multiple of Epoch past now) rather than by repeated
+		// addition, so a long event-free jump costs O(1) and float
+		// accumulation cannot stall the advance.
+		if opt.Epoch > 0 && nextEpoch <= now+eps {
+			replan = true
+			res.Trace = append(res.Trace, Event{Time: now, Kind: EpochTick, Coflow: -1})
+			nextEpoch = opt.Epoch * (math.Floor(now/opt.Epoch) + 1)
+			if nextEpoch <= now+eps {
+				nextEpoch += opt.Epoch
+			}
+		}
+
+		st.Now = now
+		st.Active = st.Active[:0]
+		for j := 0; j < nc; j++ {
+			if revealed[j] && !finished[j] {
+				st.Active = append(st.Active, j)
+			}
+		}
+		st.Replan = replan
+
+		var rates [][]float64
+		if len(st.Active) > 0 {
+			if replan {
+				res.Replans++
+			}
+			if rates, err = pol.Allocate(ctx, st); err != nil {
+				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, now, err)
+			}
+			if err := checkRates(st, caps, rates, activeBuf, loadBuf); err != nil {
+				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, now, err)
+			}
+		}
+
+		// Next event: the earliest of coflow reveal, flow release,
+		// epoch tick, and flow completion at the current rates. The
+		// coflow's own Release is an event even when all its flows
+		// release later: the reveal must land at the release time, not
+		// piggyback on whatever event happens to fire next. Epoch ticks
+		// only count while something is active — an idle gap would
+		// otherwise burn one no-op event per period; the tick due at
+		// the end of the gap still fires with the arrival that ends it.
+		next := math.Inf(1)
+		if len(st.Active) > 0 {
+			next = nextEpoch
+		}
+		for j := 0; j < nc; j++ {
+			if finished[j] {
+				continue
+			}
+			c := &inst.Coflows[j]
+			if !revealed[j] && c.Release > now+eps && c.Release < next {
+				next = c.Release
+			}
+			for i := range c.Flows {
+				if st.Remaining[j][i] <= eps {
+					continue
+				}
+				if r := c.EffectiveRelease(i); r > now+eps && r < next {
+					next = r
+				}
+			}
+		}
+		progress := false
+		for _, j := range st.Active {
+			if rates == nil || rates[j] == nil {
+				continue
+			}
+			for i, rem := range st.Remaining[j] {
+				if rem <= eps || rates[j][i] <= eps {
+					continue
+				}
+				progress = true
+				if t := now + rem/rates[j][i]; t < next {
+					next = t
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("sim: stalled at t=%g with %d/%d coflows done (no rates, no pending events)",
+				now, done, nc)
+		}
+		if !progress && next <= now+eps {
+			return nil, fmt.Errorf("sim: no progress at t=%g", now)
+		}
+		dt := next - now
+		if dt < 0 {
+			dt = 0
+		}
+
+		// Advance: deplete demands at constant rates for dt.
+		for _, j := range st.Active {
+			if rates == nil || rates[j] == nil {
+				continue
+			}
+			served := 0.0
+			for i := range st.Remaining[j] {
+				if st.Remaining[j][i] <= eps || rates[j][i] <= eps {
+					continue
+				}
+				d := rates[j][i] * dt
+				if d > st.Remaining[j][i] {
+					d = st.Remaining[j][i]
+				}
+				st.Remaining[j][i] -= d
+				served += d
+				if st.Remaining[j][i] <= eps {
+					st.Remaining[j][i] = 0
+				}
+			}
+			st.Attained[j] += served
+		}
+		now = next
+
+		// Completions.
+		for _, j := range st.Active {
+			all := true
+			for _, rem := range st.Remaining[j] {
+				if rem > eps {
+					all = false
+					break
+				}
+			}
+			if all {
+				finished[j] = true
+				done++
+				res.Completions[j] = now
+				res.Trace = append(res.Trace, Event{Time: now, Kind: Completion, Coflow: j})
+			}
+		}
+	}
+
+	for j := 0; j < nc; j++ {
+		c := res.Completions[j]
+		res.WeightedCCT += inst.Coflows[j].Weight * c
+		res.TotalCCT += c
+		res.AvgCCT += c - st.Arrival[j]
+		if c > res.Makespan {
+			res.Makespan = c
+		}
+	}
+	res.AvgCCT /= float64(nc)
+	return res, nil
+}
+
+// checkRates verifies the policy's allocation: a full-instance rate
+// matrix, non-negative rates, nothing granted to unavailable flows,
+// and per-edge loads within capacity. A violation is a policy bug and
+// surfaces as a diagnostic error, not a panic. active and load are
+// caller-owned scratch buffers (len = coflows / edges), cleared here.
+func checkRates(st *State, caps []float64, rates [][]float64, active []bool, load []float64) error {
+	if len(rates) != len(st.Inst.Coflows) {
+		return fmt.Errorf("rate matrix has %d rows for %d coflows (size it by the full instance)",
+			len(rates), len(st.Inst.Coflows))
+	}
+	for j := range active {
+		active[j] = false
+	}
+	for _, j := range st.Active {
+		active[j] = true
+	}
+	for e := range load {
+		load[e] = 0
+	}
+	for j := range rates {
+		if rates[j] == nil {
+			continue
+		}
+		if !active[j] {
+			// A positive rate on an unrevealed or finished coflow means
+			// the policy used information it must not have.
+			for i, r := range rates[j] {
+				if r > eps {
+					return fmt.Errorf("rate %g granted to inactive coflow %d flow %d", r, j, i)
+				}
+			}
+			continue
+		}
+		c := &st.Inst.Coflows[j]
+		if len(rates[j]) != len(c.Flows) {
+			return fmt.Errorf("coflow %d rate row has %d entries for %d flows", j, len(rates[j]), len(c.Flows))
+		}
+		for i := range c.Flows {
+			r := rates[j][i]
+			if r < 0 {
+				return fmt.Errorf("negative rate %g for coflow %d flow %d", r, j, i)
+			}
+			if r <= eps {
+				continue
+			}
+			if st.Remaining[j][i] <= eps || !st.Available(j, i) {
+				return fmt.Errorf("rate %g granted to inactive flow %d of coflow %d", r, i, j)
+			}
+			for _, e := range c.Flows[i].Path {
+				load[e] += r
+			}
+		}
+	}
+	for e, l := range load {
+		if l > caps[e]*(1+1e-6)+eps {
+			return fmt.Errorf("edge %d overloaded: rate %g > capacity %g", e, l, caps[e])
+		}
+	}
+	return nil
+}
+
+// Slowdown returns the average per-coflow ratio of online to offline
+// response times, (C_on − r) / (C_off − r) — the price of not knowing
+// the future. Ratios of absolute completion times would be diluted
+// toward 1 by large release offsets at low load, so the shared release
+// time is subtracted from both sides (using online.Arrivals; a result
+// without arrivals falls back to r = 0). Offline response times of
+// zero are clamped to a small positive value.
+func Slowdown(online *Result, offline []float64) (float64, error) {
+	if len(offline) != len(online.Completions) {
+		return 0, fmt.Errorf("sim: slowdown over %d online vs %d offline coflows",
+			len(online.Completions), len(offline))
+	}
+	if len(offline) == 0 {
+		return 0, fmt.Errorf("sim: slowdown of empty result")
+	}
+	var s float64
+	for j, c := range online.Completions {
+		var r float64
+		if len(online.Arrivals) == len(online.Completions) {
+			r = online.Arrivals[j]
+		}
+		ref := offline[j] - r
+		if ref < eps {
+			ref = eps
+		}
+		s += (c - r) / ref
+	}
+	return s / float64(len(offline)), nil
+}
