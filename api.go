@@ -9,6 +9,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/sim"
 	"repro/internal/timegrid"
+	"repro/internal/topo"
+	"repro/internal/validate"
 	"repro/internal/workload"
 )
 
@@ -49,6 +51,12 @@ type (
 	// SimResult reports an online simulation: per-coflow completion
 	// times, weighted/average CCT, makespan, and the event trace.
 	SimResult = sim.Result
+	// Topology is a generated network plus the endpoints workload
+	// flows may use (internal/topo).
+	Topology = topo.Topology
+	// ValidationReport lists every invariant a scheduler output broke
+	// (internal/validate); an empty report means the output is valid.
+	ValidationReport = validate.Report
 )
 
 // Transmission models (Section 2 of the paper). MultiPath is the
@@ -196,3 +204,33 @@ func Simulate(ctx context.Context, inst *Instance, opt SimOptions) (*SimResult, 
 // "epoch:<scheduler>" re-planning adapter per compatible engine
 // scheduler.
 func SimPolicies() []string { return sim.Names() }
+
+// Topologies lists the topology generator families of internal/topo:
+// "big-switch", "erdos-renyi", "fat-tree", "leaf-spine", "line",
+// "ring", "random-regular", "star".
+func Topologies() []string { return topo.Families() }
+
+// NewTopology builds a network from a generator spec such as
+// "fat-tree:k=4" or "erdos-renyi:n=10,p=0.3,seed=7,hetero=1". The spec
+// fully determines the graph; see internal/topo for the grammar and
+// the per-family parameters. Use the returned Topology's Endpoints as
+// WorkloadConfig.Endpoints so flows stay on hosts in switched fabrics.
+func NewTopology(spec string) (*Topology, error) { return topo.New(spec) }
+
+// Validate replays a scheduler result against the instance with the
+// independent oracle (internal/validate): per-edge capacity in every
+// slot, full demand along model-admissible routes, release times, and
+// reported completions and aggregates versus the replayed schedule.
+// It returns nil when every invariant holds.
+func Validate(inst *Instance, res *SchedulerResult) error {
+	return validate.Result(inst, res).Err()
+}
+
+// ValidateSim replays an online simulation result against the
+// instance: trace shape and ordering, completion events versus
+// reported completions, aggregates, trivial lower bounds, and per-edge
+// volume versus each edge's active window. Pass the SimOptions the run
+// used so the oracle knows the reveal convention (Clairvoyant).
+func ValidateSim(inst *Instance, res *SimResult, opt SimOptions) error {
+	return validate.SimResult(inst, res, opt.Clairvoyant).Err()
+}

@@ -193,3 +193,61 @@ func TestSimulateVsOfflineUnits(t *testing.T) {
 		t.Fatalf("online %.3f > 2x offline %.3f", on.WeightedCCT, off.Weighted)
 	}
 }
+
+func TestTopologyFacade(t *testing.T) {
+	fams := Topologies()
+	if len(fams) < 8 {
+		t.Fatalf("Topologies() = %v, want ≥ 8 families", fams)
+	}
+	top, err := NewTopology("fat-tree:k=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Graph.NumNodes() != 36 || len(top.Endpoints) != 16 {
+		t.Fatalf("fat-tree:k=4 has %d nodes / %d endpoints", top.Graph.NumNodes(), len(top.Endpoints))
+	}
+	if _, err := NewTopology("moebius:n=4"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// TestValidateFacade runs a scheduler and an online policy on a
+// generated topology and passes both results through the public
+// validation facade; then checks tampering is rejected.
+func TestValidateFacade(t *testing.T) {
+	top, err := NewTopology("leaf-spine:leaves=3,spines=2,hosts=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := GenerateWorkload(WorkloadConfig{
+		Kind: FB, Graph: top.Graph, NumCoflows: 4, Seed: 5,
+		MeanInterarrival: 1, AssignPaths: true, Endpoints: top.Endpoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScheduleWith(context.Background(), "sincronia-greedy", in, SinglePath, SchedOptions{MaxSlots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(in, res); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+	res.Completions[0] = 0.001
+	if Validate(in, res) == nil {
+		t.Fatal("tampered result accepted")
+	}
+
+	opt := SimOptions{Policy: "las", Seed: 1}
+	sres, err := Simulate(context.Background(), in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSim(in, sres, opt); err != nil {
+		t.Fatalf("valid sim result rejected: %v", err)
+	}
+	sres.WeightedCCT *= 2
+	if ValidateSim(in, sres, opt) == nil {
+		t.Fatal("tampered sim result accepted")
+	}
+}

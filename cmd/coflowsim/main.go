@@ -5,16 +5,20 @@
 // Usage:
 //
 //	coflowsim -figure 9                  # regenerate Figure 9 (text table)
-//	coflowsim -figure all -csv out/      # all figures (incl. O1), CSV per figure
+//	coflowsim -figure all -csv out/      # all figures (incl. O1, T1), CSV per figure
 //	coflowsim -figure o1                 # online load sweep (internal/sim)
+//	coflowsim -figure t1                 # topology sweep (internal/topo)
 //	coflowsim -gen fb -coflows 20 -topology gscale -out inst.json
 //	coflowsim -run inst.json -model free -trials 20
 //	coflowsim -scheduler list            # names in the engine registry
 //	coflowsim -scheduler stretch         # run one engine scheduler
 //	coflowsim -scheduler all -model single -coflows 8
+//	coflowsim -scheduler all -topo fat-tree:k=4 -validate
+//	coflowsim -topo list                 # generator families (internal/topo)
 //	coflowsim -online -policy list       # names in the sim policy registry
 //	coflowsim -online -policy all -workload FB
 //	coflowsim -online -policy epoch:stretch -epoch 2 -load 1.0
+//	coflowsim -online -topo leaf-spine:leaves=4,spines=2,hosts=2 -validate
 //
 // Scale flags (-coflows, -free-coflows, -slots, -trials, -seed,
 // -workers) apply to figure regeneration; defaults are laptop-sized
@@ -25,6 +29,13 @@
 // release times and the -policy list is compared against a clairvoyant
 // offline run; -load sets the arrival rate (coflows per slot) of the
 // generated workload and -epoch the re-planning period.
+//
+// -topo selects a generated topology by spec ("fat-tree:k=4",
+// "erdos-renyi:n=10,p=0.3,seed=7", …; -topo list prints the families)
+// and overrides -topology; workload endpoints are then restricted to
+// the topology's hosts. -validate replays every produced schedule or
+// event trace through the independent oracle (internal/validate) and
+// fails loudly on any invariant violation.
 package main
 
 import (
@@ -44,6 +55,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/validate"
 	"repro/internal/workload"
 
 	repro "repro"
@@ -71,7 +84,9 @@ func main() {
 		workloadF = flag.String("workload", "fb", "workload for -online: bigbench|tpcds|tpch|fb")
 
 		gen      = flag.String("gen", "", "generate a workload: bigbench|tpcds|tpch|fb")
-		topology = flag.String("topology", "swan", "topology for -gen: swan|gscale")
+		topology = flag.String("topology", "swan", "topology for generated workloads: swan|gscale|<topo spec>")
+		topoF    = flag.String("topo", "", "generator topology spec (overrides -topology): list|<family>[:k=v,…]")
+		validF   = flag.Bool("validate", false, "replay results through the internal/validate oracle")
 		outFile  = flag.String("out", "", "output file for -gen (default stdout)")
 		paths    = flag.Bool("paths", true, "assign random shortest paths when generating")
 
@@ -81,7 +96,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// -topo overrides -topology everywhere a workload is generated.
+	topoSpec := *topology
+	if *topoF != "" {
+		topoSpec = *topoF
+	}
+
 	switch {
+	case *topoF == "list":
+		for _, name := range topo.Families() {
+			fmt.Println(name)
+		}
 	case *online:
 		// The simulator runs in the single path model; reject an
 		// explicit conflicting -model instead of silently ignoring it.
@@ -91,9 +116,10 @@ func main() {
 			fatal(fmt.Errorf("-online simulates the single path model; -model %s is not supported", *modelFlag))
 		}
 		err := runOnline(onlineArgs{
-			spec: *policy, runFile: *runFile, kind: *workloadF, topology: *topology,
+			spec: *policy, runFile: *runFile, kind: *workloadF, topology: topoSpec,
 			coflows: *coflows, epoch: *epoch, load: *load,
 			slots: *slots, trials: *trials, seed: *seed, workers: *workers,
+			validate: *validF,
 		})
 		if err != nil {
 			fatal(err)
@@ -101,8 +127,9 @@ func main() {
 	case *scheduler != "":
 		err := runSchedulers(schedulerArgs{
 			spec: *scheduler, runFile: *runFile, modelStr: *modelFlag,
-			genKind: *gen, topology: *topology, coflows: *coflows,
+			genKind: *gen, topology: topoSpec, coflows: *coflows,
 			slots: *slots, trials: *trials, seed: *seed, workers: *workers,
+			validate: *validF,
 		})
 		if err != nil {
 			fatal(err)
@@ -137,11 +164,11 @@ func main() {
 			fatal(err)
 		}
 	case *gen != "":
-		if err := generate(*gen, *topology, *coflows, *seed, *paths, *outFile); err != nil {
+		if err := generate(*gen, topoSpec, *coflows, *seed, *paths, *outFile); err != nil {
 			fatal(err)
 		}
 	case *runFile != "":
-		if err := runInstance(*runFile, *modelFlag, *trials, *seed, *slots, *workers, *terra); err != nil {
+		if err := runInstance(*runFile, *modelFlag, *trials, *seed, *slots, *workers, *terra, *validF); err != nil {
 			fatal(err)
 		}
 	default:
@@ -171,13 +198,15 @@ func runFigures(spec string, cfg experiments.Config, csvDir string) error {
 		for _, n := range nums {
 			figs = append(figs, figure{strconv.Itoa(n), experiments.Figures[n]})
 		}
-		figs = append(figs, figure{"O1", experiments.FigureO1})
+		figs = append(figs, figure{"O1", experiments.FigureO1}, figure{"T1", experiments.FigureT1})
 	case strings.EqualFold(spec, "o1"):
 		figs = []figure{{"O1", experiments.FigureO1}}
+	case strings.EqualFold(spec, "t1"):
+		figs = []figure{{"T1", experiments.FigureT1}}
 	default:
 		n, err := strconv.Atoi(spec)
 		if err != nil || experiments.Figures[n] == nil {
-			return fmt.Errorf("unknown figure %q (have 6..12, o1)", spec)
+			return fmt.Errorf("unknown figure %q (have 6..12, o1, t1)", spec)
 		}
 		figs = []figure{{spec, experiments.Figures[n]}}
 	}
@@ -226,15 +255,34 @@ func parseKind(s string) (workload.Kind, error) {
 	}
 }
 
-func parseTopology(s string) (*graph.Graph, error) {
+// parseTopology resolves a topology selector: the two hand-coded WANs
+// by name, or any generator spec from internal/topo ("fat-tree:k=4",
+// …). The returned Topology carries the endpoint set workload flows
+// are restricted to. Topologies with fewer than two endpoints are
+// rejected here — generating a workload on them would have no valid
+// source/sink pair.
+func parseTopology(s string) (*topo.Topology, error) {
+	var top *topo.Topology
 	switch strings.ToLower(s) {
 	case "swan":
-		return graph.SWAN(1), nil
+		top = &topo.Topology{Spec: "swan", Family: "swan", Graph: graph.SWAN(1)}
 	case "gscale", "g-scale":
-		return graph.GScale(1), nil
+		top = &topo.Topology{Spec: "gscale", Family: "gscale", Graph: graph.GScale(1)}
 	default:
-		return nil, fmt.Errorf("unknown topology %q", s)
+		t, err := topo.New(s)
+		if err != nil {
+			return nil, err
+		}
+		top = t
 	}
+	n := len(top.Endpoints)
+	if n == 0 {
+		n = top.Graph.NumNodes()
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("topology %q exposes %d workload endpoint(s); flows need at least 2 (source ≠ sink) — pick a larger topology", s, n)
+	}
+	return top, nil
 }
 
 func generate(kindStr, topoStr string, coflows int, seed int64, paths bool, out string) error {
@@ -242,7 +290,7 @@ func generate(kindStr, topoStr string, coflows int, seed int64, paths bool, out 
 	if err != nil {
 		return err
 	}
-	g, err := parseTopology(topoStr)
+	top, err := parseTopology(topoStr)
 	if err != nil {
 		return err
 	}
@@ -250,8 +298,8 @@ func generate(kindStr, topoStr string, coflows int, seed int64, paths bool, out 
 		coflows = 10
 	}
 	in, err := workload.Generate(workload.Config{
-		Kind: kind, Graph: g, NumCoflows: coflows, Seed: seed,
-		MeanInterarrival: 1.5, AssignPaths: paths,
+		Kind: kind, Graph: top.Graph, NumCoflows: coflows, Seed: seed,
+		MeanInterarrival: 1.5, AssignPaths: paths, Endpoints: top.Endpoints,
 	})
 	if err != nil {
 		return err
@@ -295,6 +343,7 @@ type schedulerArgs struct {
 	spec, runFile, modelStr, genKind, topology string
 	coflows, slots, trials, workers            int
 	seed                                       int64
+	validate                                   bool
 }
 
 // runSchedulers runs one or more engine schedulers on an instance:
@@ -329,7 +378,11 @@ func runSchedulers(a schedulerArgs) error {
 	opt := repro.SchedOptions{MaxSlots: a.slots, Trials: a.trials, Seed: a.seed, Workers: a.workers}
 	fmt.Printf("model: %v, coflows: %d (%d flows)\n\n", mode, len(in.Coflows), in.NumFlows())
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheduler\tweighted ΣwC\ttotal ΣC\tLP bound")
+	header := "scheduler\tweighted ΣwC\ttotal ΣC\tLP bound"
+	if a.validate {
+		header += "\tvalidate"
+	}
+	fmt.Fprintln(tw, header)
 	for _, name := range names {
 		res, err := repro.ScheduleWith(context.Background(), name, in, mode, opt)
 		if err != nil {
@@ -339,7 +392,15 @@ func runSchedulers(a schedulerArgs) error {
 		if res.HasLowerBound {
 			bound = fmt.Sprintf("%.3f", res.LowerBound)
 		}
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%s\n", res.Scheduler, res.Weighted, res.Total, bound)
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%s", res.Scheduler, res.Weighted, res.Total, bound)
+		if a.validate {
+			if err := validate.Result(in, res).Err(); err != nil {
+				tw.Flush()
+				return fmt.Errorf("scheduler %s failed validation: %w", name, err)
+			}
+			fmt.Fprint(tw, "\tok")
+		}
+		fmt.Fprintln(tw)
 	}
 	return tw.Flush()
 }
@@ -388,7 +449,8 @@ func resolvePolicies(spec string, opt sim.Options) ([]string, error) {
 // buildInstance is the shared instance source of the -scheduler and
 // -online branches: the runFile when given, otherwise a freshly
 // generated workload (kind defaults to fb, coflow count to 8) with
-// Poisson releases at the given mean interarrival.
+// Poisson releases at the given mean interarrival, with flows
+// restricted to the topology's endpoints.
 func buildInstance(runFile, kindStr, topoStr string, coflows int, seed int64, interarrival float64, assignPaths bool) (*coflow.Instance, error) {
 	if runFile != "" {
 		return loadInstance(runFile)
@@ -400,7 +462,7 @@ func buildInstance(runFile, kindStr, topoStr string, coflows int, seed int64, in
 	if err != nil {
 		return nil, err
 	}
-	g, err := parseTopology(topoStr)
+	top, err := parseTopology(topoStr)
 	if err != nil {
 		return nil, err
 	}
@@ -408,8 +470,9 @@ func buildInstance(runFile, kindStr, topoStr string, coflows int, seed int64, in
 		coflows = 8
 	}
 	return workload.Generate(workload.Config{
-		Kind: kind, Graph: g, NumCoflows: coflows, Seed: seed,
+		Kind: kind, Graph: top.Graph, NumCoflows: coflows, Seed: seed,
 		MeanInterarrival: interarrival, AssignPaths: assignPaths,
+		Endpoints: top.Endpoints,
 	})
 }
 
@@ -419,6 +482,7 @@ type onlineArgs struct {
 	coflows, slots, trials, workers int
 	epoch, load                     float64
 	seed                            int64
+	validate                        bool
 }
 
 // runOnline drives the discrete-event simulator: it compares every
@@ -448,14 +512,26 @@ func runOnline(a onlineArgs) error {
 	if err != nil {
 		return err
 	}
-	res, err := experiments.OnlineComparison(context.Background(), in, names, simOpt, "stretch")
+	var check func(policy string, clairvoyant bool, r *sim.Result) error
+	if a.validate {
+		check = func(policy string, clairvoyant bool, r *sim.Result) error {
+			if err := validate.SimResult(in, r, clairvoyant).Err(); err != nil {
+				return fmt.Errorf("policy %s failed validation: %w", policy, err)
+			}
+			return nil
+		}
+	}
+	res, err := experiments.OnlineComparison(context.Background(), in, names, simOpt, "stretch", check)
 	if err != nil {
 		return err
+	}
+	if a.validate {
+		fmt.Println("validate: every event trace passed the oracle")
 	}
 	return res.Render(os.Stdout)
 }
 
-func runInstance(path, modelStr string, trials int, seed int64, slots, workers int, withTerra bool) error {
+func runInstance(path, modelStr string, trials int, seed int64, slots, workers int, withTerra, validateF bool) error {
 	in, err := loadInstance(path)
 	if err != nil {
 		return err
@@ -486,6 +562,12 @@ func runInstance(path, modelStr string, trials int, seed int64, slots, workers i
 		fmt.Printf("average λ:           %.3f (%d samples)\n", res.Stretch.AvgWeighted, len(res.Stretch.Samples))
 	}
 	fmt.Printf("simplex iterations:  %d\n", res.Iterations)
+	if validateF {
+		if rep, _ := validate.Schedule(res.Heuristic.Schedule); !rep.OK() {
+			return fmt.Errorf("heuristic schedule failed validation: %w", rep.Err())
+		}
+		fmt.Println("validate:            ok (heuristic schedule replayed)")
+	}
 	if withTerra && mode == coflow.FreePath {
 		tr, err := baselines.Terra(in)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/coflow"
+	"repro/internal/graph"
 	"repro/internal/sim"
 )
 
@@ -43,5 +44,68 @@ func TestResolvePoliciesUnknownListsRegistry(t *testing.T) {
 	all, err := resolvePolicies("all", sim.Options{})
 	if err != nil || len(all) == 0 {
 		t.Fatalf("all = %v, err = %v", all, err)
+	}
+}
+
+func TestParseTopologyAcceptsSpecs(t *testing.T) {
+	top, err := parseTopology("fat-tree:k=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Graph.NumNodes() != 36 || len(top.Endpoints) != 16 {
+		t.Fatalf("fat-tree:k=4: %d nodes / %d endpoints", top.Graph.NumNodes(), len(top.Endpoints))
+	}
+	for _, name := range []string{"swan", "SWAN", "gscale", "g-scale"} {
+		top, err := parseTopology(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if top.Graph.NumNodes() < 5 {
+			t.Fatalf("%s: %d nodes", name, top.Graph.NumNodes())
+		}
+	}
+	if _, err := parseTopology("torus:n=4"); err == nil || !strings.Contains(err.Error(), "fat-tree") {
+		t.Fatalf("unknown topology error should list families, got %v", err)
+	}
+}
+
+// TestTopologyEndpointGuard: a topology without two usable endpoints
+// must be rejected with a clear error before any workload generation.
+func TestTopologyEndpointGuard(t *testing.T) {
+	_, err := parseTopology("big-switch:n=1")
+	if err == nil {
+		t.Fatal("big-switch:n=1 accepted")
+	}
+	for _, want := range []string{"endpoint", "at least 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if _, err := buildInstance("", "fb", "big-switch:n=1", 4, 1, 1, true); err == nil {
+		t.Fatal("buildInstance accepted a 1-endpoint topology")
+	}
+}
+
+// TestBuildInstanceOnGeneratedTopology pins that generated instances
+// keep flows on the topology's endpoint set.
+func TestBuildInstanceOnGeneratedTopology(t *testing.T) {
+	in, err := buildInstance("", "fb", "leaf-spine:leaves=3,spines=2,hosts=2", 5, 2, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := parseTopology("leaf-spine:leaves=3,spines=2,hosts=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[graph.NodeID]bool{}
+	for _, ep := range top.Endpoints {
+		allowed[ep] = true
+	}
+	for _, c := range in.Coflows {
+		for _, f := range c.Flows {
+			if !allowed[f.Source] || !allowed[f.Sink] {
+				t.Fatalf("flow %v→%v uses a non-endpoint node", f.Source, f.Sink)
+			}
+		}
 	}
 }

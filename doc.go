@@ -21,6 +21,13 @@
 // Sincronia, or an epoch adapter around any engine scheduler
 // (SimPolicies lists them).
 //
+// NewTopology generates datacenter-style and adversarial networks from
+// spec strings like "fat-tree:k=4" (internal/topo; Topologies lists
+// the families), and Validate/ValidateSim replay any result through
+// the independent validity oracle (internal/validate) — the engine of
+// the scheduler × topology × model conformance matrix in the test
+// suite.
+//
 // This root package is a thin facade over the internal packages; see
 // README.md for the architecture and cmd/coflowsim for the experiment
 // driver that regenerates every figure of the paper.

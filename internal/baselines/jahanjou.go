@@ -39,6 +39,30 @@ var ErrHorizonTooSmall = errors.New("horizon too small")
 // ε = 0.5436).
 const JahanjouEpsilon = 0.5436
 
+// JahanjouAdaptive runs Jahanjou, growing the horizon geometrically
+// (2×, 4×, 8×) while the failure is genuinely cured by a longer grid:
+// an infeasible or over-budget interval LP, or a priority fill that
+// ran out of slots (seen on high-diameter generated topologies where
+// the LP-sized horizon underestimates path contention). Other errors
+// surface immediately. This is the single retry policy shared by the
+// engine wrapper and the figure harnesses.
+func JahanjouAdaptive(in *coflow.Instance, horizon float64, eps, alpha float64) (*JahanjouResult, error) {
+	jr, err := Jahanjou(in, horizon, eps, alpha)
+	for grow := 2.0; err != nil && retryableHorizon(err) && grow <= 8; grow *= 2 {
+		jr, err = Jahanjou(in, grow*horizon, eps, alpha)
+	}
+	return jr, err
+}
+
+// retryableHorizon reports whether err is cured by a longer horizon.
+func retryableHorizon(err error) bool {
+	var se *model.StatusError
+	if errors.As(err, &se) && (se.Status == simplex.Infeasible || se.Status == simplex.IterLimit) {
+		return true
+	}
+	return errors.Is(err, ErrHorizonTooSmall)
+}
+
 // JahanjouResult reports the baseline's outcome.
 type JahanjouResult struct {
 	// LowerBound is the geometric-interval LP objective.

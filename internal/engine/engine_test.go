@@ -2,8 +2,11 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/coflow"
 	"repro/internal/graph"
@@ -58,7 +61,9 @@ func TestEverySchedulerRuns(t *testing.T) {
 		case s.Supports(coflow.FreePath):
 			in, mode = free, coflow.FreePath
 		default:
-			t.Fatalf("%s supports no testable model", name)
+			// Test-only schedulers registered by other tests in this
+			// package may support nothing runnable here.
+			continue
 		}
 		res, err := Schedule(context.Background(), name, in, mode, opt)
 		if err != nil {
@@ -152,5 +157,98 @@ func TestNormalize(t *testing.T) {
 	}
 	if o := (Options{Trials: -1}).Normalize(); o.Trials != 0 {
 		t.Fatalf("negative trials should disable: %+v", o)
+	}
+}
+
+// fakeScheduler is a registrable stub for registry edge-case tests. It
+// supports only the multi path model so TestEverySchedulerRuns skips
+// it, and blocks in Schedule until the context is done when block is
+// set.
+type fakeScheduler struct {
+	name  string
+	block bool
+}
+
+func (f fakeScheduler) Name() string                 { return f.name }
+func (f fakeScheduler) Supports(m coflow.Model) bool { return m == coflow.MultiPath }
+func (f fakeScheduler) Schedule(ctx context.Context, inst *coflow.Instance, opt Options) (*Result, error) {
+	if f.block {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return &Result{Completions: make([]float64, len(inst.Coflows))}, nil
+}
+
+// ensureRegistered registers s unless its name is already taken: the
+// registry is process-global, so repeated passes of the same test
+// binary (-count=2) must not re-register.
+func ensureRegistered(s Scheduler) {
+	if _, err := Get(s.Name()); err != nil {
+		Register(s)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	ensureRegistered(fakeScheduler{name: "zz-test-dup"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(fakeScheduler{name: "zz-test-dup"})
+}
+
+func TestUnknownNameListsRegistry(t *testing.T) {
+	_, err := Get("no-such-scheduler")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, want := range []string{NameStretch, NameHeuristic, NameTerra, NameJahanjou, NameSincronia} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %q", err, want)
+		}
+	}
+	if _, err := Schedule(context.Background(), "no-such-scheduler", testInstance(t, true, 1),
+		coflow.SinglePath, Options{}); err == nil {
+		t.Fatal("Schedule dispatched an unknown name")
+	}
+}
+
+// TestCancellationMidSchedule cancels a context while a scheduler is
+// blocked inside Schedule and asserts the engine surfaces the
+// cancellation instead of hanging — the path TestCancelledContext
+// (pre-dispatch check) cannot reach.
+func TestCancellationMidSchedule(t *testing.T) {
+	ensureRegistered(fakeScheduler{name: "zz-test-block", block: true})
+	in := testInstance(t, true, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Schedule(ctx, "zz-test-block", in, coflow.MultiPath, Options{})
+		errc <- err
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Schedule did not return after cancellation")
+	}
+}
+
+// TestNamesSupportingExcludesIncompatible pins the model filtering the
+// sim adapters and CLI rely on.
+func TestNamesSupportingExcludesIncompatible(t *testing.T) {
+	for _, n := range NamesSupporting(coflow.SinglePath) {
+		if n == NameTerra {
+			t.Fatal("terra listed as single path capable")
+		}
+	}
+	for _, n := range NamesSupporting(coflow.FreePath) {
+		if n == NameJahanjou || n == NameSincronia {
+			t.Fatalf("%s listed as free path capable", n)
+		}
 	}
 }

@@ -122,10 +122,7 @@ func (jahanjouScheduler) Schedule(ctx context.Context, inst *coflow.Instance, op
 		return nil, err
 	}
 	horizon := core.DefaultGrid(inst, opt.Mode, opt.MaxSlots).Horizon()
-	jr, err := baselines.Jahanjou(inst, horizon, baselines.JahanjouEpsilon, 0.5)
-	if core.RetryableLP(err) {
-		jr, err = baselines.Jahanjou(inst, 4*horizon, baselines.JahanjouEpsilon, 0.5)
-	}
+	jr, err := baselines.JahanjouAdaptive(inst, horizon, baselines.JahanjouEpsilon, 0.5)
 	if err != nil {
 		return nil, err
 	}

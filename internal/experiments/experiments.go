@@ -488,11 +488,10 @@ func singlePath(c Config, topo, figure string) (*FigureResult, error) {
 			return Row{}, err
 		}
 
-		// Jahanjou et al. with the ratio-optimizing ε.
-		jr, err := baselines.Jahanjou(in, horizon, baselines.JahanjouEpsilon, 0.5)
-		if core.RetryableLP(err) {
-			jr, err = baselines.Jahanjou(in, 4*horizon, baselines.JahanjouEpsilon, 0.5)
-		}
+		// Jahanjou et al. with the ratio-optimizing ε; the adaptive
+		// wrapper grows the horizon when the interval LP or the
+		// priority fill runs out of room.
+		jr, err := baselines.JahanjouAdaptive(in, horizon, baselines.JahanjouEpsilon, 0.5)
 		if err != nil {
 			return Row{}, fmt.Errorf("%s %v (jahanjou): %w", figure, kind, err)
 		}

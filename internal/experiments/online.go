@@ -47,7 +47,12 @@ const SeriesOffline = "Offline ΣwC"
 // cost of not knowing the future instead of mixing in the slot
 // quantization of offline schedules; the engine's slotted ΣwC is
 // reported alongside for scale.
-func OnlineComparison(ctx context.Context, in *coflow.Instance, policies []string, opt sim.Options, offline string) (*FigureResult, error) {
+//
+// When check is non-nil it receives every simulation result (the
+// clairvoyant reference included, with clairvoyant=true) before it is
+// tabulated; a non-nil error aborts the comparison. cmd/coflowsim's
+// -validate wires the internal/validate oracle through it.
+func OnlineComparison(ctx context.Context, in *coflow.Instance, policies []string, opt sim.Options, offline string, check func(policy string, clairvoyant bool, r *sim.Result) error) (*FigureResult, error) {
 	// Normalize here so the offline reference sees sim's lighter trial
 	// default (5) rather than the engine's offline default (20).
 	opt = opt.Normalize()
@@ -66,6 +71,11 @@ func OnlineComparison(ctx context.Context, in *coflow.Instance, policies []strin
 		ref, err := clairvoyantReference(ctx, in, offline, opt)
 		if err != nil {
 			return nil, err
+		}
+		if check != nil {
+			if err := check("epoch:"+offline, true, ref); err != nil {
+				return nil, fmt.Errorf("experiments: clairvoyant reference %s: %w", offline, err)
+			}
 		}
 		offCompletions = ref.Completions
 		res.Series = append(res.Series, "Slowdown")
@@ -92,6 +102,11 @@ func OnlineComparison(ctx context.Context, in *coflow.Instance, policies []strin
 		r, err := sim.Simulate(ctx, in, o)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: policy %s: %w", name, err)
+		}
+		if check != nil {
+			if err := check(name, false, r); err != nil {
+				return nil, fmt.Errorf("experiments: policy %s: %w", name, err)
+			}
 		}
 		row := Row{Label: name, Values: map[string]float64{
 			"Weighted ΣwC": r.WeightedCCT,

@@ -67,10 +67,19 @@ func TestOnlineComparisonTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checked := 0
 	res, err := OnlineComparison(context.Background(), in,
-		[]string{sim.NameFIFO, sim.NameLAS}, sim.Options{MaxSlots: 16, Trials: 2}, "sincronia-greedy")
+		[]string{sim.NameFIFO, sim.NameLAS}, sim.Options{MaxSlots: 16, Trials: 2}, "sincronia-greedy",
+		func(policy string, clairvoyant bool, r *sim.Result) error {
+			checked++
+			return nil
+		})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The clairvoyant reference plus both policies pass the hook.
+	if checked != 3 {
+		t.Fatalf("check hook saw %d results, want 3", checked)
 	}
 	// Two reference rows (clairvoyant + slotted) plus one per policy.
 	if len(res.Rows) != 4 {

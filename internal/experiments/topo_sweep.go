@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/coflow"
+	"repro/internal/engine"
+	"repro/internal/pool"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Topology sweep ("Figure T1"): the paper's headline claim is
+// approximating coflow completion time in *general* networks, but its
+// own evaluation runs only the SWAN and G-Scale WANs. This figure
+// measures how far each single-path scheduler lands from the LP lower
+// bound across the generated topology families of internal/topo — the
+// big-switch abstraction the Sincronia-style greedy was designed for,
+// oversubscribed datacenter fabrics, and the adversarial flat families.
+
+// T1Specs are the topology specs swept, one row each. All are sized so
+// the time-indexed LP stays laptop-friendly at default scale.
+var T1Specs = []string{
+	"big-switch:n=6",
+	"star:n=6",
+	"line:n=6",
+	"ring:n=6",
+	"fat-tree:k=4",
+	"leaf-spine:leaves=4,spines=2,hosts=2",
+	"random-regular:n=8,d=3,seed=3",
+	"erdos-renyi:n=8,p=0.3,seed=5,hetero=1",
+}
+
+// T1Schedulers are the engine schedulers compared, one series each;
+// all support the single path model the sweep runs in.
+var T1Schedulers = []string{
+	engine.NameHeuristic,
+	engine.NameStretch,
+	engine.NameJahanjou,
+	engine.NameSincronia,
+}
+
+// FigureT1 runs the topology sweep: one cell per topology spec, each
+// generating an FB workload restricted to the topology's endpoints and
+// running every T1Schedulers member in the single path model. Reported
+// values are the CCT ratio — weighted completion over the cell's
+// time-indexed LP lower bound — so 1.0 is LP-optimal and families
+// where an algorithm's big-switch assumptions break show up as
+// inflated ratios. Cells fan out over the worker pool; per-cell seeds
+// derive from Config.Seed, so the table is identical at any
+// Config.Workers.
+func FigureT1(c Config) (*FigureResult, error) {
+	c = c.withDefaults()
+	res := &FigureResult{
+		Name:   "Figure T1: topology sweep, single path FB workload (ΣwC / LP bound)",
+		Series: append([]string(nil), T1Schedulers...),
+	}
+	rows, err := pool.Map(context.Background(), len(T1Specs), c.Workers, func(i int) (Row, error) {
+		spec := T1Specs[i]
+		c.logf("Figure T1: topology %s", spec)
+		top, err := topo.New(spec)
+		if err != nil {
+			return Row{}, fmt.Errorf("T1 %s: %w", spec, err)
+		}
+		in, err := workload.Generate(workload.Config{
+			Kind:             workload.FB,
+			Graph:            top.Graph,
+			NumCoflows:       c.SingleCoflows,
+			Seed:             stats.SubSeed(c.Seed, 0x701+uint64(i)),
+			MeanInterarrival: c.MeanInterarrival,
+			AssignPaths:      true,
+			Endpoints:        top.Endpoints,
+		})
+		if err != nil {
+			return Row{}, fmt.Errorf("T1 %s: %w", spec, err)
+		}
+		row := Row{Label: spec, Values: map[string]float64{}}
+		var bound float64
+		for _, name := range T1Schedulers {
+			r, err := engine.Schedule(context.Background(), name, in, coflow.SinglePath, engine.Options{
+				MaxSlots: c.MaxSlots,
+				Trials:   c.Trials,
+				Seed:     stats.SubSeed(c.Seed, 0x71A+uint64(i)),
+				Workers:  1, // cells already fan out; keep trials serial
+			})
+			if err != nil {
+				return Row{}, fmt.Errorf("T1 %s (%s): %w", spec, name, err)
+			}
+			// The heuristic runs first and its time-indexed LP bound is
+			// the common denominator; Jahanjou's interval bound differs.
+			if name == engine.NameHeuristic && r.HasLowerBound {
+				bound = r.LowerBound
+			}
+			row.Values[name] = r.Weighted
+		}
+		if bound <= 0 {
+			return Row{}, fmt.Errorf("T1 %s: no LP lower bound", spec)
+		}
+		for name, v := range row.Values {
+			row.Values[name] = v / bound
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}

@@ -1,0 +1,553 @@
+// Package topo is the parameterized topology generator: it builds the
+// datacenter-style and adversarial network families the paper's "general
+// networks" claim must be stressed on, beyond the two hand-coded WANs of
+// internal/graph. Every family is selected by a compact spec string
+//
+//	family[:key=value,key=value,...]
+//
+// e.g. "fat-tree:k=4" or "erdos-renyi:n=10,p=0.3,seed=7,hetero=1".
+// Values are numbers; unknown families or keys fail with a listing of
+// what exists. All randomness (random graph wiring, heterogeneous
+// capacities) derives from the spec's seed parameter, so a spec string
+// is a complete, reproducible description of its network.
+//
+// A generated Topology carries the capacitated graph plus the designated
+// workload endpoints: in switched fabrics (fat-tree, leaf-spine,
+// big-switch) only hosts source or sink traffic, while in flat families
+// (line, ring, star, random graphs) every node does. Workload generators
+// draw flow endpoints from Topology.Endpoints (see
+// workload.Config.Endpoints).
+//
+// Families:
+//
+//	big-switch     n hosts on one non-blocking switch — the classic
+//	               datacenter abstraction of the original coflow papers
+//	               (endpoints: hosts)
+//	star           hub + n spokes, hub itself an endpoint
+//	line           bidirectional path of n nodes
+//	ring           bidirectional cycle of n nodes
+//	fat-tree       3-tier k-ary fat-tree: (k/2)² cores, k pods of k/2
+//	               aggregation + k/2 edge switches, k/2 hosts per edge
+//	               switch (endpoints: the k³/4 hosts)
+//	leaf-spine     2-tier Clos: every leaf connects to every spine,
+//	               hosts hang off leaves (endpoints: hosts)
+//	random-regular connected random d-regular graph (pairing model)
+//	erdos-renyi    connected Erdős–Rényi: a random Hamiltonian cycle
+//	               guarantees connectivity, every remaining pair joins
+//	               independently with probability p
+//
+// Common keys: cap (link capacity, default 1), seed (default 1), and
+// hetero (0/1, default 0) which draws every link's capacity
+// log-uniformly from [cap/√10, cap·√10] instead of using cap exactly.
+// Links are full duplex, as everywhere in this repository: one physical
+// link is two directed edges, each with the full capacity.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Topology is a generated network plus its designated endpoints.
+type Topology struct {
+	// Spec is the spec string the topology was built from.
+	Spec string
+	// Family is the generator family name.
+	Family string
+	// Graph is the capacitated network.
+	Graph *graph.Graph
+	// Endpoints lists the nodes where workload flows may originate or
+	// terminate: hosts in switched fabrics, every node otherwise.
+	Endpoints []graph.NodeID
+}
+
+// family describes one generator: its allowed parameter keys with
+// defaults, and the builder. Builders draw all randomness from ctx.rng
+// and all link capacities through ctx.link, so determinism and capacity
+// heterogeneity are handled uniformly.
+type family struct {
+	defaults map[string]float64
+	build    func(c *buildCtx) ([]graph.NodeID, error)
+}
+
+// Common parameter defaults shared by every family.
+func common(extra map[string]float64) map[string]float64 {
+	d := map[string]float64{"cap": 1, "seed": 1, "hetero": 0}
+	for k, v := range extra {
+		d[k] = v
+	}
+	return d
+}
+
+var families = map[string]family{
+	"big-switch": {
+		defaults: common(map[string]float64{"n": 8}),
+		build:    buildBigSwitch,
+	},
+	"star": {
+		defaults: common(map[string]float64{"n": 8}),
+		build:    buildStar,
+	},
+	"line": {
+		defaults: common(map[string]float64{"n": 4}),
+		build:    buildLine,
+	},
+	"ring": {
+		defaults: common(map[string]float64{"n": 6}),
+		build:    buildRing,
+	},
+	"fat-tree": {
+		defaults: common(map[string]float64{"k": 4}),
+		build:    buildFatTree,
+	},
+	"leaf-spine": {
+		defaults: common(map[string]float64{"leaves": 4, "spines": 2, "hosts": 2, "up": 0}),
+		build:    buildLeafSpine,
+	},
+	"random-regular": {
+		defaults: common(map[string]float64{"n": 8, "d": 3}),
+		build:    buildRandomRegular,
+	},
+	"erdos-renyi": {
+		defaults: common(map[string]float64{"n": 8, "p": 0.3}),
+		build:    buildErdosRenyi,
+	},
+}
+
+// Families lists the generator family names, sorted.
+func Families() []string {
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// buildCtx bundles what every builder needs: the graph under
+// construction, the seeded RNG, and the capacity policy.
+type buildCtx struct {
+	g      *graph.Graph
+	rng    *rand.Rand
+	p      map[string]float64
+	cap    float64
+	hetero bool
+}
+
+// capacity draws one link capacity: cap exactly, or log-uniform in
+// [cap/√10, cap·√10] under hetero.
+func (c *buildCtx) capacity() float64 {
+	if !c.hetero {
+		return c.cap
+	}
+	return c.cap * math.Exp((c.rng.Float64()-0.5)*math.Ln10)
+}
+
+// link adds a full-duplex link with one drawn capacity for both
+// directions.
+func (c *buildCtx) link(a, b graph.NodeID) {
+	c.g.AddLink(a, b, c.capacity())
+}
+
+// intParam reads key as a non-negative integer parameter.
+func (c *buildCtx) intParam(key string) (int, error) {
+	v := c.p[key]
+	if v != math.Trunc(v) || v < 0 || v > 1e6 {
+		return 0, fmt.Errorf("topo: parameter %s=%g must be a non-negative integer", key, v)
+	}
+	return int(v), nil
+}
+
+// ParseSpec splits a spec string into its family name and parameter
+// map, validating the family, the keys, and the number syntax. It does
+// not build the graph; New does.
+func ParseSpec(spec string) (string, map[string]float64, error) {
+	spec = strings.TrimSpace(spec)
+	name, rest, _ := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	fam, ok := families[name]
+	if !ok {
+		return "", nil, fmt.Errorf("topo: unknown family %q (have %v)", name, Families())
+	}
+	p := make(map[string]float64, len(fam.defaults))
+	for k, v := range fam.defaults {
+		p[k] = v
+	}
+	if strings.TrimSpace(rest) == "" {
+		return name, p, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, vs, found := strings.Cut(kv, "=")
+		k = strings.TrimSpace(k)
+		if !found || k == "" {
+			return "", nil, fmt.Errorf("topo: %q: parameter %q is not key=value", spec, kv)
+		}
+		if _, known := fam.defaults[k]; !known {
+			keys := make([]string, 0, len(fam.defaults))
+			for dk := range fam.defaults {
+				keys = append(keys, dk)
+			}
+			sort.Strings(keys)
+			return "", nil, fmt.Errorf("topo: %s: unknown parameter %q (have %v)", name, k, keys)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("topo: %s: parameter %s=%q is not a number", name, k, vs)
+		}
+		p[k] = v
+	}
+	return name, p, nil
+}
+
+// New builds the topology described by spec. The same spec always
+// produces the identical graph: node and edge ids depend only on the
+// family, the parameters, and the seed.
+func New(spec string) (*Topology, error) {
+	name, p, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if p["cap"] <= 0 {
+		return nil, fmt.Errorf("topo: %s: cap=%g must be positive", name, p["cap"])
+	}
+	c := &buildCtx{
+		g:      graph.New(),
+		rng:    rand.New(rand.NewSource(int64(p["seed"]))),
+		p:      p,
+		cap:    p["cap"],
+		hetero: p["hetero"] != 0,
+	}
+	eps, err := families[name].build(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{
+		Spec:      strings.TrimSpace(spec),
+		Family:    name,
+		Graph:     c.g,
+		Endpoints: eps,
+	}, nil
+}
+
+// allNodes returns every node id of g, the endpoint set of flat
+// families.
+func allNodes(g *graph.Graph) []graph.NodeID {
+	ids := make([]graph.NodeID, g.NumNodes())
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	return ids
+}
+
+// buildBigSwitch wires n hosts to one non-blocking central switch: the
+// big-switch abstraction every host-pair shares only its own access
+// links with. Endpoints are the hosts; the switch never terminates
+// traffic.
+func buildBigSwitch(c *buildCtx) ([]graph.NodeID, error) {
+	n, err := c.intParam("n")
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topo: big-switch needs n ≥ 1 hosts, got %d", n)
+	}
+	sw := c.g.AddNode("sw")
+	hosts := make([]graph.NodeID, n)
+	for i := range hosts {
+		hosts[i] = c.g.AddNode(fmt.Sprintf("h%d", i))
+		c.link(sw, hosts[i])
+	}
+	return hosts, nil
+}
+
+// buildStar wires n spokes to a hub; unlike big-switch, the hub is a
+// datacenter in its own right and an endpoint.
+func buildStar(c *buildCtx) ([]graph.NodeID, error) {
+	n, err := c.intParam("n")
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topo: star needs n ≥ 1 spokes, got %d", n)
+	}
+	hub := c.g.AddNode("hub")
+	for i := 0; i < n; i++ {
+		c.link(hub, c.g.AddNode(fmt.Sprintf("s%d", i)))
+	}
+	return allNodes(c.g), nil
+}
+
+// buildLine is a bidirectional path v0 — v1 — … — v_{n-1}; the
+// worst-case diameter family, and the fixture of the golden traces.
+func buildLine(c *buildCtx) ([]graph.NodeID, error) {
+	n, err := c.intParam("n")
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("topo: line needs n ≥ 2 nodes, got %d", n)
+	}
+	prev := c.g.AddNode("v0")
+	for i := 1; i < n; i++ {
+		v := c.g.AddNode(fmt.Sprintf("v%d", i))
+		c.link(prev, v)
+		prev = v
+	}
+	return allNodes(c.g), nil
+}
+
+// buildRing is a bidirectional cycle of n nodes.
+func buildRing(c *buildCtx) ([]graph.NodeID, error) {
+	n, err := c.intParam("n")
+	if err != nil {
+		return nil, err
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("topo: ring needs n ≥ 3 nodes, got %d", n)
+	}
+	nodes := make([]graph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = c.g.AddNode(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < n; i++ {
+		c.link(nodes[i], nodes[(i+1)%n])
+	}
+	return nodes, nil
+}
+
+// buildFatTree is the standard 3-tier k-ary fat-tree (Al-Fares et al.):
+// (k/2)² core switches; k pods, each with k/2 aggregation and k/2 edge
+// switches; k/2 hosts per edge switch (k³/4 hosts total). Aggregation
+// switch j of every pod connects to cores j·k/2 … j·k/2+k/2−1. All
+// links share one capacity, the non-oversubscribed configuration.
+func buildFatTree(c *buildCtx) ([]graph.NodeID, error) {
+	k, err := c.intParam("k")
+	if err != nil {
+		return nil, err
+	}
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree needs an even k ≥ 2, got %d", k)
+	}
+	half := k / 2
+	cores := make([]graph.NodeID, half*half)
+	for i := range cores {
+		cores[i] = c.g.AddNode(fmt.Sprintf("c%d", i))
+	}
+	var hosts []graph.NodeID
+	for pod := 0; pod < k; pod++ {
+		agg := make([]graph.NodeID, half)
+		edge := make([]graph.NodeID, half)
+		for j := 0; j < half; j++ {
+			agg[j] = c.g.AddNode(fmt.Sprintf("p%da%d", pod, j))
+		}
+		for j := 0; j < half; j++ {
+			edge[j] = c.g.AddNode(fmt.Sprintf("p%de%d", pod, j))
+		}
+		for j := 0; j < half; j++ {
+			for m := 0; m < half; m++ {
+				c.link(edge[j], agg[m])
+			}
+		}
+		for j := 0; j < half; j++ {
+			for m := 0; m < half; m++ {
+				c.link(agg[j], cores[j*half+m])
+			}
+		}
+		for j := 0; j < half; j++ {
+			for m := 0; m < half; m++ {
+				h := c.g.AddNode(fmt.Sprintf("p%de%dh%d", pod, j, m))
+				c.link(edge[j], h)
+				hosts = append(hosts, h)
+			}
+		}
+	}
+	return hosts, nil
+}
+
+// buildLeafSpine is the 2-tier Clos fabric: every leaf connects to
+// every spine with capacity up (default cap), and hosts hang off leaves
+// with capacity cap. up < hosts·cap/spines oversubscribes the fabric.
+func buildLeafSpine(c *buildCtx) ([]graph.NodeID, error) {
+	leaves, err := c.intParam("leaves")
+	if err != nil {
+		return nil, err
+	}
+	spines, err := c.intParam("spines")
+	if err != nil {
+		return nil, err
+	}
+	hosts, err := c.intParam("hosts")
+	if err != nil {
+		return nil, err
+	}
+	if leaves < 2 || spines < 1 || hosts < 1 {
+		return nil, fmt.Errorf("topo: leaf-spine needs leaves ≥ 2, spines ≥ 1, hosts ≥ 1, got %d/%d/%d",
+			leaves, spines, hosts)
+	}
+	up := c.p["up"]
+	if up < 0 {
+		return nil, fmt.Errorf("topo: leaf-spine up=%g must be non-negative", up)
+	}
+	sp := make([]graph.NodeID, spines)
+	for i := range sp {
+		sp[i] = c.g.AddNode(fmt.Sprintf("s%d", i))
+	}
+	var eps []graph.NodeID
+	for l := 0; l < leaves; l++ {
+		leaf := c.g.AddNode(fmt.Sprintf("l%d", l))
+		for _, s := range sp {
+			capUp := up
+			if capUp == 0 {
+				capUp = c.capacity()
+			}
+			c.g.AddLink(leaf, s, capUp)
+		}
+		for h := 0; h < hosts; h++ {
+			hn := c.g.AddNode(fmt.Sprintf("l%dh%d", l, h))
+			c.link(leaf, hn)
+			eps = append(eps, hn)
+		}
+	}
+	return eps, nil
+}
+
+// undirectedEdge is a normalized node pair for wiring random families.
+type undirectedEdge struct{ a, b int }
+
+func normEdge(a, b int) undirectedEdge {
+	if a > b {
+		a, b = b, a
+	}
+	return undirectedEdge{a, b}
+}
+
+// connected reports whether the undirected edge set spans all n nodes,
+// via union-find.
+func connected(n int, edges []undirectedEdge) bool {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := n
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		if ra != rb {
+			parent[ra] = rb
+			comps--
+		}
+	}
+	return comps == 1
+}
+
+// buildRandomRegular samples a connected random d-regular graph with
+// the pairing (configuration) model: n·d stubs are shuffled and paired,
+// rejecting pairings with self-loops, parallel edges, or a disconnected
+// result. Rejection sampling keeps the draw uniform over simple
+// pairings; the fixed seed keeps it reproducible.
+func buildRandomRegular(c *buildCtx) ([]graph.NodeID, error) {
+	n, err := c.intParam("n")
+	if err != nil {
+		return nil, err
+	}
+	d, err := c.intParam("d")
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 || d < 1 || d >= n || n*d%2 != 0 {
+		return nil, fmt.Errorf("topo: random-regular needs 1 ≤ d < n and n·d even, got n=%d d=%d", n, d)
+	}
+	const attempts = 1000
+	for try := 0; try < attempts; try++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		c.rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		seen := make(map[undirectedEdge]bool, n*d/2)
+		edges := make([]undirectedEdge, 0, n*d/2)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			a, b := stubs[i], stubs[i+1]
+			e := normEdge(a, b)
+			if a == b || seen[e] {
+				ok = false
+				break
+			}
+			seen[e] = true
+			edges = append(edges, e)
+		}
+		if !ok || !connected(n, edges) {
+			continue
+		}
+		nodes := make([]graph.NodeID, n)
+		for v := range nodes {
+			nodes[v] = c.g.AddNode(fmt.Sprintf("v%d", v))
+		}
+		for _, e := range edges {
+			c.link(nodes[e.a], nodes[e.b])
+		}
+		return nodes, nil
+	}
+	return nil, fmt.Errorf("topo: random-regular n=%d d=%d: no simple connected pairing in %d attempts", n, d, attempts)
+}
+
+// buildErdosRenyi samples a connected Erdős–Rényi-style graph: a random
+// Hamiltonian cycle guarantees connectivity (plain G(n,p) is
+// disconnected with constant probability at small n, which no coflow
+// instance can use), then every remaining unordered pair joins
+// independently with probability p.
+func buildErdosRenyi(c *buildCtx) ([]graph.NodeID, error) {
+	n, err := c.intParam("n")
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("topo: erdos-renyi needs n ≥ 2 nodes, got %d", n)
+	}
+	p := c.p["p"]
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topo: erdos-renyi p=%g outside [0, 1]", p)
+	}
+	nodes := make([]graph.NodeID, n)
+	for v := range nodes {
+		nodes[v] = c.g.AddNode(fmt.Sprintf("v%d", v))
+	}
+	perm := c.rng.Perm(n)
+	seen := make(map[undirectedEdge]bool, n)
+	for i := 0; i < n; i++ {
+		a, b := perm[i], perm[(i+1)%n]
+		e := normEdge(a, b)
+		if seen[e] {
+			continue // n=2: the cycle degenerates to one link
+		}
+		seen[e] = true
+		c.link(nodes[a], nodes[b])
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if seen[undirectedEdge{a, b}] {
+				continue
+			}
+			if c.rng.Float64() < p {
+				c.link(nodes[a], nodes[b])
+			}
+		}
+	}
+	return nodes, nil
+}

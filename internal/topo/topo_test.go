@@ -1,0 +1,220 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func mustNew(t *testing.T, spec string) *Topology {
+	t.Helper()
+	top, err := New(spec)
+	if err != nil {
+		t.Fatalf("New(%q): %v", spec, err)
+	}
+	return top
+}
+
+func TestFamiliesListed(t *testing.T) {
+	fams := Families()
+	if len(fams) < 8 {
+		t.Fatalf("only %d families: %v", len(fams), fams)
+	}
+	for _, want := range []string{"big-switch", "star", "line", "ring",
+		"fat-tree", "leaf-spine", "random-regular", "erdos-renyi"} {
+		found := false
+		for _, f := range fams {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %q missing from %v", want, fams)
+		}
+	}
+}
+
+// TestFamilySizes pins node/edge/endpoint counts of every family at a
+// reference parameterization.
+func TestFamilySizes(t *testing.T) {
+	cases := []struct {
+		spec                   string
+		nodes, links, endpoint int // links = physical (full-duplex) links
+	}{
+		{"big-switch:n=5", 6, 5, 5},
+		{"star:n=5", 6, 5, 6},
+		{"line:n=4", 4, 3, 4},
+		{"ring:n=6", 6, 6, 6},
+		// k=4 fat-tree: 4 cores + 4 pods × (2 agg + 2 edge) + 16 hosts;
+		// links: 16 edge-agg + 16 agg-core + 16 host.
+		{"fat-tree:k=4", 36, 48, 16},
+		{"leaf-spine:leaves=3,spines=2,hosts=2", 11, 12, 6},
+		{"random-regular:n=8,d=3", 8, 12, 8},
+	}
+	for _, c := range cases {
+		top := mustNew(t, c.spec)
+		if got := top.Graph.NumNodes(); got != c.nodes {
+			t.Errorf("%s: %d nodes, want %d", c.spec, got, c.nodes)
+		}
+		if got := top.Graph.NumEdges(); got != 2*c.links {
+			t.Errorf("%s: %d directed edges, want %d", c.spec, got, 2*c.links)
+		}
+		if got := len(top.Endpoints); got != c.endpoint {
+			t.Errorf("%s: %d endpoints, want %d", c.spec, got, c.endpoint)
+		}
+	}
+}
+
+// TestDeterministic asserts a spec string fully determines the graph:
+// same spec twice gives identical nodes, edges, and capacities, and a
+// different seed gives a different random wiring.
+func TestDeterministic(t *testing.T) {
+	for _, spec := range []string{
+		"random-regular:n=10,d=3,seed=4,hetero=1",
+		"erdos-renyi:n=9,p=0.4,seed=11,hetero=1",
+		"fat-tree:k=4,hetero=1,seed=3",
+	} {
+		a, b := mustNew(t, spec), mustNew(t, spec)
+		if a.Graph.NumEdges() != b.Graph.NumEdges() {
+			t.Fatalf("%s: edge counts differ", spec)
+		}
+		for i, e := range a.Graph.Edges() {
+			f := b.Graph.Edge(graph.EdgeID(i))
+			if e.From != f.From || e.To != f.To || e.Capacity != f.Capacity {
+				t.Fatalf("%s: edge %d differs: %+v vs %+v", spec, i, e, f)
+			}
+		}
+	}
+	a := mustNew(t, "erdos-renyi:n=12,p=0.3,seed=1")
+	b := mustNew(t, "erdos-renyi:n=12,p=0.3,seed=2")
+	same := a.Graph.NumEdges() == b.Graph.NumEdges()
+	if same {
+		for i, e := range a.Graph.Edges() {
+			f := b.Graph.Edge(graph.EdgeID(i))
+			if e.From != f.From || e.To != f.To {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed=1 and seed=2 produced identical random graphs")
+	}
+}
+
+// TestEndpointsConnected asserts every ordered endpoint pair of every
+// family is connected — the property workload generation relies on.
+func TestEndpointsConnected(t *testing.T) {
+	specs := []string{
+		"big-switch:n=4", "star:n=4", "line:n=5", "ring:n=5",
+		"fat-tree:k=4", "leaf-spine:leaves=3,spines=2,hosts=2",
+		"random-regular:n=8,d=3,seed=2", "erdos-renyi:n=8,p=0.2,seed=9",
+	}
+	for _, spec := range specs {
+		top := mustNew(t, spec)
+		for _, s := range top.Endpoints {
+			for _, d := range top.Endpoints {
+				if s == d {
+					continue
+				}
+				if top.Graph.HopDistance(s, d) < 0 {
+					t.Fatalf("%s: endpoint %s unreachable from %s", spec,
+						top.Graph.NodeName(d), top.Graph.NodeName(s))
+				}
+			}
+		}
+	}
+}
+
+func TestRegularity(t *testing.T) {
+	top := mustNew(t, "random-regular:n=10,d=4,seed=6")
+	for v := 0; v < top.Graph.NumNodes(); v++ {
+		if got := len(top.Graph.OutEdges(graph.NodeID(v))); got != 4 {
+			t.Fatalf("node %d has out-degree %d, want 4", v, got)
+		}
+	}
+}
+
+func TestHeterogeneousCapacities(t *testing.T) {
+	top := mustNew(t, "ring:n=8,cap=2,hetero=1,seed=5")
+	lo, hi := 2.0, 2.0
+	for _, e := range top.Graph.Edges() {
+		if e.Capacity < lo {
+			lo = e.Capacity
+		}
+		if e.Capacity > hi {
+			hi = e.Capacity
+		}
+		if e.Capacity < 2/3.17 || e.Capacity > 2*3.17 {
+			t.Fatalf("capacity %g outside [cap/√10, cap·√10]", e.Capacity)
+		}
+	}
+	if lo == hi {
+		t.Fatal("hetero=1 produced uniform capacities")
+	}
+	uni := mustNew(t, "ring:n=8,cap=2")
+	for _, e := range uni.Graph.Edges() {
+		if e.Capacity != 2 {
+			t.Fatalf("hetero=0 capacity %g, want 2", e.Capacity)
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"torus:n=4", "unknown family"},
+		{"ring:m=4", "unknown parameter"},
+		{"ring:n=abc", "not a number"},
+		{"ring:n", "not key=value"},
+		{"ring:n=2", "n ≥ 3"},
+		{"big-switch:n=0", "n ≥ 1"},
+		{"fat-tree:k=3", "even k"},
+		{"line:n=1", "n ≥ 2"},
+		{"random-regular:n=5,d=3", "even"},
+		{"random-regular:n=4,d=4", "d < n"},
+		{"erdos-renyi:p=1.5", "outside [0, 1]"},
+		{"ring:cap=-1", "must be positive"},
+		{"leaf-spine:up=-2", "non-negative"},
+		{"ring:n=4.5", "integer"},
+	}
+	for _, c := range cases {
+		_, err := New(c.spec)
+		if err == nil {
+			t.Errorf("New(%q) accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("New(%q) error %q does not mention %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestBigSwitchEndpointsExcludeSwitch(t *testing.T) {
+	top := mustNew(t, "big-switch:n=3")
+	sw := top.Graph.MustNode("sw")
+	for _, ep := range top.Endpoints {
+		if ep == sw {
+			t.Fatal("switch listed as an endpoint")
+		}
+	}
+}
+
+func TestLeafSpineOversubscription(t *testing.T) {
+	top := mustNew(t, "leaf-spine:leaves=2,spines=2,hosts=4,cap=1,up=0.5")
+	l0 := top.Graph.MustNode("l0")
+	s0 := top.Graph.MustNode("s0")
+	for _, eid := range top.Graph.OutEdges(l0) {
+		e := top.Graph.Edge(eid)
+		if e.To == s0 && e.Capacity != 0.5 {
+			t.Fatalf("uplink capacity %g, want 0.5", e.Capacity)
+		}
+	}
+}
+
+func ExampleNew() {
+	top, _ := New("fat-tree:k=4")
+	fmt.Println(top.Family, top.Graph.NumNodes(), top.Graph.NumEdges()/2, len(top.Endpoints))
+	// Output: fat-tree 36 48 16
+}

@@ -103,6 +103,13 @@ type Config struct {
 	// AssignPaths draws a uniformly random shortest path per flow
 	// (required before single path scheduling).
 	AssignPaths bool
+	// Endpoints optionally restricts flow sources and sinks to the
+	// given nodes — the hosts of a switched fabric (see internal/topo's
+	// Topology.Endpoints). Empty means every node of the graph. At
+	// least two distinct in-range nodes are required; anything else is
+	// rejected with an error rather than wrapping indices or looping
+	// forever on a single endpoint.
+	Endpoints []graph.NodeID
 }
 
 // Generate builds a reproducible instance.
@@ -123,6 +130,24 @@ func Generate(cfg Config) (*coflow.Instance, error) {
 	if wmin <= 0 || wmax < wmin {
 		return nil, fmt.Errorf("workload: bad weight range [%g, %g]", wmin, wmax)
 	}
+	eps := cfg.Endpoints
+	if len(eps) == 0 {
+		eps = make([]graph.NodeID, cfg.Graph.NumNodes())
+		for i := range eps {
+			eps[i] = graph.NodeID(i)
+		}
+	} else {
+		distinct := make(map[graph.NodeID]bool, len(eps))
+		for _, v := range eps {
+			if v < 0 || int(v) >= cfg.Graph.NumNodes() {
+				return nil, fmt.Errorf("workload: endpoint %d outside the graph's %d nodes", v, cfg.Graph.NumNodes())
+			}
+			distinct[v] = true
+		}
+		if len(distinct) < 2 {
+			return nil, fmt.Errorf("workload: %d distinct endpoints; flows need ≥ 2 (source ≠ sink)", len(distinct))
+		}
+	}
 	sh := cfg.Kind.shape()
 	rng := rand.New(rand.NewSource(stats.SubSeed(cfg.Seed, uint64(cfg.Kind))))
 
@@ -142,10 +167,10 @@ func Generate(cfg Config) (*coflow.Instance, error) {
 			nf += rng.Intn(sh.maxFlows - sh.minFlows + 1)
 		}
 		for i := 0; i < nf; i++ {
-			src := graph.NodeID(rng.Intn(cfg.Graph.NumNodes()))
-			dst := graph.NodeID(rng.Intn(cfg.Graph.NumNodes()))
+			src := eps[rng.Intn(len(eps))]
+			dst := eps[rng.Intn(len(eps))]
 			for dst == src {
-				dst = graph.NodeID(rng.Intn(cfg.Graph.NumNodes()))
+				dst = eps[rng.Intn(len(eps))]
 			}
 			size := math.Exp(sh.sizeMu + sh.sizeSigma*rng.NormFloat64())
 			if size > sh.sizeCap {

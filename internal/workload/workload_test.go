@@ -154,3 +154,64 @@ func TestKindString(t *testing.T) {
 		t.Error("unknown kind should render")
 	}
 }
+
+func TestEndpointsRestrictFlows(t *testing.T) {
+	g := graph.GScale(1)
+	eps := []graph.NodeID{1, 4, 7}
+	in, err := Generate(Config{Kind: FB, Graph: g, NumCoflows: 12, Seed: 3, Endpoints: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[graph.NodeID]bool{1: true, 4: true, 7: true}
+	for _, c := range in.Coflows {
+		for _, f := range c.Flows {
+			if !allowed[f.Source] || !allowed[f.Sink] {
+				t.Fatalf("flow %v→%v outside endpoint set %v", f.Source, f.Sink, eps)
+			}
+		}
+	}
+}
+
+func TestEndpointsDefaultMatchesAllNodes(t *testing.T) {
+	// Passing the full node set explicitly must reproduce the default
+	// sampling bit for bit (same RNG consumption).
+	g := graph.SWAN(1)
+	all := make([]graph.NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	a, err := Generate(Config{Kind: TPCDS, Graph: g, NumCoflows: 6, Seed: 9, MeanInterarrival: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Kind: TPCDS, Graph: g, NumCoflows: 6, Seed: 9, MeanInterarrival: 1, Endpoints: all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Coflows {
+		for i := range a.Coflows[j].Flows {
+			fa, fb := a.Coflows[j].Flows[i], b.Coflows[j].Flows[i]
+			if fa.Source != fb.Source || fa.Sink != fb.Sink || fa.Demand != fb.Demand {
+				t.Fatalf("coflow %d flow %d differs: %+v vs %+v", j, i, fa, fb)
+			}
+		}
+	}
+}
+
+func TestEndpointsRejected(t *testing.T) {
+	g := graph.SWAN(1)
+	cases := []struct {
+		name string
+		eps  []graph.NodeID
+	}{
+		{"single endpoint", []graph.NodeID{2}},
+		{"duplicated single endpoint", []graph.NodeID{2, 2, 2}},
+		{"out of range", []graph.NodeID{0, 99}},
+		{"negative", []graph.NodeID{-1, 2}},
+	}
+	for _, c := range cases {
+		if _, err := Generate(Config{Kind: FB, Graph: g, NumCoflows: 2, Endpoints: c.eps}); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
