@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 
+	"repro/internal/bench"
 	"repro/internal/coflow"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -57,6 +58,15 @@ type (
 	// ValidationReport lists every invariant a scheduler output broke
 	// (internal/validate); an empty report means the output is valid.
 	ValidationReport = validate.Report
+	// BenchConfig parameterizes the benchmark-regression harness
+	// (internal/bench): the instance-size tier and seeds.
+	BenchConfig = bench.Config
+	// BenchReport is the machine-readable outcome of a harness run —
+	// the BENCH_sim.json format at the repo root.
+	BenchReport = bench.Report
+	// BenchRegression is one metric that moved past the comparison
+	// tolerance between two benchmark reports.
+	BenchRegression = bench.Regression
 )
 
 // Transmission models (Section 2 of the paper). MultiPath is the
@@ -233,4 +243,25 @@ func Validate(inst *Instance, res *SchedulerResult) error {
 // used so the oracle knows the reveal convention (Clairvoyant).
 func ValidateSim(inst *Instance, res *SimResult, opt SimOptions) error {
 	return validate.SimResult(inst, res, opt.Clairvoyant).Err()
+}
+
+// RunBenchmarks executes the benchmark-regression suite
+// (internal/bench) at the tier named in cfg: simulator throughput
+// over the policy × topology × size grid, the headline
+// BenchmarkSimulateFB ref-vs-optimized speedup, and the scheduler/LP
+// micro-benchmarks. The report serializes to BENCH_sim.json via its
+// WriteFile method; cmd/coflowsim's -bench flag drives this end to
+// end.
+func RunBenchmarks(cfg BenchConfig) (*BenchReport, error) { return bench.Run(cfg) }
+
+// LoadBenchReport reads a previously written BENCH_sim.json.
+func LoadBenchReport(path string) (*BenchReport, error) { return bench.Load(path) }
+
+// CompareBenchmarks diffs cur against the prev baseline and returns
+// every regression beyond the relative tolerance (0 = 0.25): a
+// benchmark's events/sec dropping by more than tol, or its allocs/op
+// growing by more than tol. Missing counterparts and cross-tier
+// reports are skipped, so a fresh machine's first run never fails.
+func CompareBenchmarks(prev, cur *BenchReport, tol float64) []BenchRegression {
+	return bench.Compare(prev, cur, tol)
 }

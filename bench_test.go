@@ -9,6 +9,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -258,25 +259,32 @@ func BenchmarkJahanjou(b *testing.B) {
 // BenchmarkSimulateFB tracks the online event loop's throughput
 // (events/sec) on an FB workload with the LP-free online Sincronia
 // policy, so regressions in the simulator's per-event work show up
-// independently of LP solver cost.
+// independently of LP solver cost. The n=2000 size is the tier the
+// benchmark-regression harness (internal/bench) records ref-vs-
+// optimized speedups for in BENCH_sim.json.
 func BenchmarkSimulateFB(b *testing.B) {
-	in, err := workload.Generate(workload.Config{
-		Kind: workload.FB, Graph: NewSWAN(1), NumCoflows: 32, Seed: 6,
-		MeanInterarrival: 0.5, AssignPaths: true,
-	})
-	if err != nil {
-		b.Fatal(err)
+	for _, n := range []int{32, 2000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in, err := workload.Generate(workload.Config{
+				Kind: workload.FB, Graph: NewSWAN(1), NumCoflows: n, Seed: 6,
+				MeanInterarrival: 0.5, AssignPaths: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(context.Background(), in, SimOptions{Policy: "sincronia-online"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
 	}
-	b.ResetTimer()
-	events := 0
-	for i := 0; i < b.N; i++ {
-		res, err := Simulate(context.Background(), in, SimOptions{Policy: "sincronia-online"})
-		if err != nil {
-			b.Fatal(err)
-		}
-		events += res.Events
-	}
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkFigureO1 regenerates the online load sweep.

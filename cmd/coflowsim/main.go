@@ -19,6 +19,8 @@
 //	coflowsim -online -policy all -workload FB
 //	coflowsim -online -policy epoch:stretch -epoch 2 -load 1.0
 //	coflowsim -online -topo leaf-spine:leaves=4,spines=2,hosts=2 -validate
+//	coflowsim -bench                     # benchmark-regression harness → BENCH_sim.json
+//	coflowsim -bench -bench-tier 100k -bench-tol 0.25 -v
 //
 // Scale flags (-coflows, -free-coflows, -slots, -trials, -seed,
 // -workers) apply to figure regeneration; defaults are laptop-sized
@@ -36,6 +38,15 @@
 // the topology's hosts. -validate replays every produced schedule or
 // event trace through the independent oracle (internal/validate) and
 // fails loudly on any invariant violation.
+//
+// -bench runs the benchmark-regression harness (internal/bench): the
+// simulator policy × topology grid at the -bench-tier instance sizes,
+// the BenchmarkSimulateFB ref-vs-optimized speedup, and scheduler/LP
+// micro-benchmarks. The report is written to -bench-out (default
+// BENCH_sim.json) and compared against -bench-baseline (default: the
+// previous -bench-out content); a stable metric regressing beyond
+// -bench-tol exits non-zero, while a missing baseline just records the
+// first report.
 package main
 
 import (
@@ -93,6 +104,12 @@ func main() {
 		runFile   = flag.String("run", "", "schedule an instance JSON file")
 		modelFlag = flag.String("model", "free", "transmission model for -run: single|free")
 		terra     = flag.Bool("terra", false, "also run the Terra baseline (-run, free path)")
+
+		benchF        = flag.Bool("bench", false, "run the benchmark-regression harness (internal/bench)")
+		benchTier     = flag.String("bench-tier", "1k", "largest simulated instance size for -bench: 1k|10k|100k")
+		benchOut      = flag.String("bench-out", "BENCH_sim.json", "output report path for -bench")
+		benchBaseline = flag.String("bench-baseline", "", "baseline report to compare against (default: the -bench-out file's previous content)")
+		benchTol      = flag.Float64("bench-tol", 0.25, "relative regression tolerance for -bench (events/sec drop, allocs/op growth)")
 	)
 	flag.Parse()
 
@@ -106,6 +123,10 @@ func main() {
 	case *topoF == "list":
 		for _, name := range topo.Families() {
 			fmt.Println(name)
+		}
+	case *benchF:
+		if err := runBench(*benchTier, *benchOut, *benchBaseline, *benchTol, *seed, *verbose); err != nil {
+			fatal(err)
 		}
 	case *online:
 		// The simulator runs in the single path model; reject an
@@ -180,6 +201,77 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "coflowsim:", err)
 	os.Exit(1)
+}
+
+// runBench drives the benchmark-regression harness: load the baseline
+// (the explicit -bench-baseline, else whatever -bench-out held from a
+// previous run; a missing file just means no comparison), run the
+// suite at the requested tier, write the fresh report, and fail with a
+// non-zero exit when any stable metric regressed beyond the tolerance.
+func runBench(tier, out, baseline string, tol float64, seed int64, verbose bool) error {
+	if baseline == "" {
+		baseline = out
+	}
+	var prev *repro.BenchReport
+	if p, err := repro.LoadBenchReport(baseline); err == nil {
+		prev = p
+		fmt.Fprintf(os.Stderr, "bench: comparing against baseline %s\n", baseline)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("baseline %s: %w", baseline, err)
+	} else {
+		fmt.Fprintf(os.Stderr, "bench: no baseline at %s, first run records one\n", baseline)
+	}
+	cfg := repro.BenchConfig{Tier: tier, Seed: seed}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := repro.RunBenchmarks(cfg)
+	if err != nil {
+		return err
+	}
+	// Compare before writing: with the default baseline == out, writing
+	// first would clobber the very baseline a failing run regressed
+	// against, making the regression unreproducible. On a failure the
+	// fresh report goes to <out>.rejected instead and the baseline
+	// survives for the re-run.
+	regs := repro.CompareBenchmarks(prev, rep, tol)
+	dest := out
+	if len(regs) > 0 && baseline == out {
+		dest = out + ".rejected"
+	}
+	if err := rep.WriteFile(dest); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", dest)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tevents/sec\tspeedup")
+	for _, r := range rep.Results {
+		ev, sp := "-", "-"
+		if r.EventsPerSec > 0 {
+			ev = fmt.Sprintf("%.0f", r.EventsPerSec)
+		}
+		if r.SpeedupVsReference > 0 {
+			sp = fmt.Sprintf("%.2fx", r.SpeedupVsReference)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\n", r.Name, r.NsPerOp, r.AllocsPerOp, ev, sp)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if prev == nil {
+		return nil
+	}
+	if len(regs) == 0 {
+		fmt.Printf("bench: no regressions beyond %.0f%% vs %s\n", tol*100, baseline)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "bench: REGRESSION", r)
+	}
+	return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", len(regs), tol*100)
 }
 
 func runFigures(spec string, cfg experiments.Config, csvDir string) error {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -83,6 +85,25 @@ func TestTopologyEndpointGuard(t *testing.T) {
 	}
 	if _, err := buildInstance("", "fb", "big-switch:n=1", 4, 1, 1, true); err == nil {
 		t.Fatal("buildInstance accepted a 1-endpoint topology")
+	}
+}
+
+// TestRunBenchFailsFast pins the -bench error paths that must not cost
+// a full suite run: an unknown tier and an unreadable baseline file
+// both fail before any benchmark executes.
+func TestRunBenchFailsFast(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := runBench("9000k", out, "", 0.25, 0, false); err == nil ||
+		!strings.Contains(err.Error(), "tier") {
+		t.Fatalf("want tier error, got %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBench("1k", out, bad, 0.25, 0, false); err == nil ||
+		!strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("want baseline error, got %v", err)
 	}
 }
 

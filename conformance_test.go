@@ -112,8 +112,13 @@ func TestConformanceOnline(t *testing.T) {
 			for _, pol := range repro.SimPolicies() {
 				pol := pol
 				t.Run(pol, func(t *testing.T) {
+					// CheckEvery: 1 is the simulator's paranoid mode: on
+					// top of the incremental per-event allocation check,
+					// every event cross-verifies the indexed fast-path
+					// state against a from-scratch rebuild.
 					opt := repro.SimOptions{
 						Policy: pol, Epoch: 2, MaxSlots: 12, Trials: 1, Seed: seed,
+						CheckEvery: 1,
 					}
 					res, err := repro.Simulate(context.Background(), in, opt)
 					if err != nil {

@@ -22,18 +22,22 @@ import (
 	repro "repro"
 )
 
-// goldenPolicies maps policy names to golden file basenames.
-var goldenPolicies = []struct{ policy, file string }{
-	{"fifo", "fifo"},
-	{"las", "las"},
-	{"epoch:stretch", "epoch-stretch"},
+// goldenPolicies maps policy×topology cells to golden file basenames.
+// The three line:n=4 cells predate the topology column (PR 3) and
+// must stay byte-identical across PRs; the leaf-spine cells pin the
+// fair progressive-filling and online-Sincronia policies on a
+// switched fabric.
+var goldenPolicies = []struct{ policy, topo, file string }{
+	{"fifo", "line:n=4", "fifo"},
+	{"las", "line:n=4", "las"},
+	{"epoch:stretch", "line:n=4", "epoch-stretch"},
+	{"fair", "leaf-spine:leaves=3,spines=2,hosts=2", "fair-leaf-spine"},
+	{"sincronia-online", "leaf-spine:leaves=3,spines=2,hosts=2", "sincronia-online-leaf-spine"},
 }
 
-const goldenTopo = "line:n=4"
-
-func goldenInstance(t *testing.T) *repro.Instance {
+func goldenInstance(t *testing.T, topoSpec string) *repro.Instance {
 	t.Helper()
-	top, err := repro.NewTopology(goldenTopo)
+	top, err := repro.NewTopology(topoSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,10 +54,10 @@ func goldenInstance(t *testing.T) *repro.Instance {
 // formatTrace renders a simulation result as the stable text the
 // golden files hold: the full event sequence plus the per-coflow
 // completions and aggregates, all at fixed precision.
-func formatTrace(policy string, res *repro.SimResult) string {
+func formatTrace(policy, topoSpec string, res *repro.SimResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# policy=%s topo=%s workload=fb coflows=%d seed=2019\n",
-		policy, goldenTopo, len(res.Completions))
+		policy, topoSpec, len(res.Completions))
 	for _, ev := range res.Trace {
 		coflow := fmt.Sprintf("%d", ev.Coflow)
 		if ev.Coflow < 0 {
@@ -70,18 +74,23 @@ func formatTrace(policy string, res *repro.SimResult) string {
 }
 
 func TestConformanceGoldenTraces(t *testing.T) {
-	in := goldenInstance(t)
 	update := os.Getenv("UPDATE_GOLDEN") != ""
+	instances := map[string]*repro.Instance{}
 	for _, gp := range goldenPolicies {
 		gp := gp
-		t.Run(gp.policy, func(t *testing.T) {
+		in, ok := instances[gp.topo]
+		if !ok {
+			in = goldenInstance(t, gp.topo)
+			instances[gp.topo] = in
+		}
+		t.Run(gp.file, func(t *testing.T) {
 			res, err := repro.Simulate(context.Background(), in, repro.SimOptions{
 				Policy: gp.policy, Epoch: 2, MaxSlots: 16, Trials: 2, Seed: 7, Workers: 1,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := formatTrace(gp.policy, res)
+			got := formatTrace(gp.policy, gp.topo, res)
 			path := filepath.Join("testdata", "golden", gp.file+".trace")
 			if update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

@@ -1,0 +1,370 @@
+// Package bench is the benchmark-regression harness: it runs a
+// parameterized suite of simulator, scheduler, and LP micro-benchmarks
+// at a chosen instance-size tier (1k / 10k / 100k coflows across
+// topology families), collects machine-readable metrics (events/sec,
+// ns/op, allocs/op, bytes/op, peak RSS), and compares the fresh report
+// against a previous BENCH_sim.json so CI — and the repo's BENCH_*
+// trajectory — can flag throughput regressions with a configurable
+// tolerance.
+//
+// The suite runs through testing.Benchmark, so the numbers are the
+// exact ones `go test -bench` would report; the harness exists so the
+// measurement can be driven from cmd/coflowsim (no test binary
+// required), serialized, and diffed. The headline entry is
+// BenchmarkSimulateFB/n=2000: the optimized online simulator and the
+// retained un-optimized reference loop (sim.SimulateReference) run the
+// identical instance and the ratio of their events/sec is recorded as
+// the speedup the internal/sim overhaul bought.
+//
+// Comparisons only fail on the stable metrics: events/sec on a fixed
+// instance and allocs/op are reproducible on one machine, while raw
+// ns/op of LP solves is noisy across shared runners; Compare therefore
+// flags events/sec drops and allocs/op growth beyond the tolerance and
+// reports everything else informationally through the Report itself.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/coflow"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Schema identifies the report format.
+const Schema = "coflow-bench/v1"
+
+// DefaultTolerance is the relative regression budget Compare applies
+// when the caller passes 0 — the >25% events/sec bar the CI job
+// enforces.
+const DefaultTolerance = 0.25
+
+// Tiers lists the selectable instance-size tiers, smallest first.
+var Tiers = []string{"1k", "10k", "100k"}
+
+// tierSizes maps a tier to its coflow-count ladder.
+var tierSizes = map[string][]int{
+	"1k":   {1000},
+	"10k":  {1000, 10000},
+	"100k": {1000, 10000, 100000},
+}
+
+// Config parameterizes a harness run.
+type Config struct {
+	// Tier selects the instance-size ladder: "1k", "10k" or "100k"
+	// (empty = "1k"). Larger tiers include the smaller sizes.
+	Tier string
+	// Sizes overrides the tier ladder with explicit coflow counts —
+	// the harness's own tests run tiny instances through the full
+	// machinery this way.
+	Sizes []int
+	// Seed drives workload generation (0 = 6, the seed the historical
+	// BenchmarkSimulateFB uses).
+	Seed int64
+	// FBSize overrides the headline BenchmarkSimulateFB instance size
+	// (0 = 2000, the acceptance-tracked cell). Tests shrink it.
+	FBSize int
+	// Logf, when set, receives one progress line per benchmark.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.Tier == "" {
+		c.Tier = "1k"
+	}
+	if _, ok := tierSizes[c.Tier]; !ok {
+		return c, fmt.Errorf("bench: unknown tier %q (have %v)", c.Tier, Tiers)
+	}
+	if c.Seed == 0 {
+		c.Seed = 6
+	}
+	if c.FBSize == 0 {
+		c.FBSize = 2000
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name identifies the benchmark, e.g. "sim/fifo/big-switch:n=64/n=10000".
+	Name string `json:"name"`
+	// Iterations is the b.N testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per benchmark operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp come from the runtime's allocation
+	// counters.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// EventsPerSec is the simulator throughput (0 for non-sim benches).
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// SpeedupVsReference is set on the headline entry only: optimized
+	// events/sec over the un-optimized reference loop's on the same
+	// instance.
+	SpeedupVsReference float64 `json:"speedup_vs_reference,omitempty"`
+}
+
+// Report is the serialized outcome of one harness run (BENCH_sim.json).
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Tier      string `json:"tier"`
+	// PeakRSSBytes is the process high-water resident set after the
+	// run (VmHWM on Linux; 0 where unavailable).
+	PeakRSSBytes int64    `json:"peak_rss_bytes"`
+	Results      []Result `json:"results"`
+}
+
+// Find returns the named result, or nil.
+func (r *Report) Find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// simCase is one simulator benchmark cell.
+type simCase struct {
+	policy string
+	spec   string // topology spec ("swan" for the hand-coded WAN)
+	inter  float64
+	// maxSize gates policies whose per-replan cost is quadratic in the
+	// backlog off the largest tiers.
+	maxSize int
+}
+
+// simSuite is the policy × topology matrix the tiers scale over.
+var simSuite = []simCase{
+	{policy: "fifo", spec: "big-switch:n=64", inter: 0.25, maxSize: 1 << 30},
+	{policy: "las", spec: "leaf-spine:leaves=8,spines=4,hosts=4", inter: 0.25, maxSize: 1 << 30},
+	{policy: "fair", spec: "big-switch:n=64", inter: 0.25, maxSize: 10000},
+	{policy: "sincronia-online", spec: "swan", inter: 1.0, maxSize: 10000},
+}
+
+// Run executes the suite for cfg and returns the report.
+func Run(cfg Config) (*Report, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	sizes := cfg.Sizes
+	if len(sizes) == 0 {
+		sizes = tierSizes[cfg.Tier]
+	}
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Tier:      cfg.Tier,
+	}
+
+	// Simulator throughput across the policy × topology × size grid.
+	for _, sc := range simSuite {
+		for _, n := range sizes {
+			if n > sc.maxSize {
+				cfg.Logf("bench: skipping %s at n=%d (gated above n=%d)", sc.policy, n, sc.maxSize)
+				continue
+			}
+			name := fmt.Sprintf("sim/%s/%s/n=%d", sc.policy, sc.spec, n)
+			in, err := benchInstance(sc.spec, n, sc.inter, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", name, err)
+			}
+			res, err := runSim(cfg, name, in, sim.Options{Policy: sc.policy}, sim.Simulate)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+
+	// Headline: the historical BenchmarkSimulateFB cell at n=2000,
+	// optimized vs the retained reference loop, with the speedup the
+	// indexed event queue + sparse allocations bought.
+	fbIn, err := benchInstance("swan", cfg.FBSize, 0.5, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: BenchmarkSimulateFB instance: %w", err)
+	}
+	fbName := fmt.Sprintf("BenchmarkSimulateFB/n=%d", cfg.FBSize)
+	opt, err := runSim(cfg, fbName, fbIn,
+		sim.Options{Policy: sim.NameSincroniaOnline}, sim.Simulate)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := runSim(cfg, fbName+"/reference", fbIn,
+		sim.Options{Policy: sim.NameSincroniaOnline}, sim.SimulateReference)
+	if err != nil {
+		return nil, err
+	}
+	if ref.EventsPerSec > 0 {
+		opt.SpeedupVsReference = opt.EventsPerSec / ref.EventsPerSec
+	}
+	rep.Results = append(rep.Results, opt, ref)
+
+	// Scheduler and LP micro-benchmarks (fixed small instances: these
+	// track per-call cost of the offline pipeline, not scale).
+	sched, err := schedulerResults(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, sched...)
+
+	rep.PeakRSSBytes = peakRSS()
+	return rep, nil
+}
+
+// benchInstance generates the canonical benchmark workload for a
+// topology spec at n coflows.
+func benchInstance(spec string, n int, inter float64, seed int64) (*coflow.Instance, error) {
+	var g *graph.Graph
+	var eps []graph.NodeID
+	if spec == "swan" {
+		g = graph.SWAN(1)
+	} else {
+		top, err := topo.New(spec)
+		if err != nil {
+			return nil, err
+		}
+		g, eps = top.Graph, top.Endpoints
+	}
+	return workload.Generate(workload.Config{
+		Kind: workload.FB, Graph: g, NumCoflows: n, Seed: seed,
+		MeanInterarrival: inter, AssignPaths: true, Endpoints: eps,
+	})
+}
+
+// runSim benchmarks one simulate function on one instance, reporting
+// events/sec alongside the standard per-op numbers.
+func runSim(cfg Config, name string, in *coflow.Instance,
+	opt sim.Options, f func(context.Context, *coflow.Instance, sim.Options) (*sim.Result, error)) (Result, error) {
+	var simErr error
+	events := 0
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		events = 0
+		for i := 0; i < b.N; i++ {
+			res, err := f(context.Background(), in, opt)
+			if err != nil {
+				simErr = err
+				b.FailNow()
+			}
+			events += res.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	})
+	if simErr != nil {
+		return Result{}, fmt.Errorf("bench: %s: %w", name, simErr)
+	}
+	r := fromBenchmark(name, br)
+	cfg.Logf("bench: %-55s %12.0f events/sec  %10d ns/op", name, r.EventsPerSec, int64(r.NsPerOp))
+	return r, nil
+}
+
+// schedulerResults runs the offline scheduler and LP micro-benchmarks.
+func schedulerResults(cfg Config) ([]Result, error) {
+	var out []Result
+	lpIn, err := benchInstance("swan", 8, 1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	greedyIn, err := benchInstance("swan", 64, 1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"scheduler/stretch/n=8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Schedule(context.Background(), "stretch", lpIn,
+					coflow.SinglePath, engine.Options{MaxSlots: 24, Trials: 4, Seed: cfg.Seed}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"scheduler/sincronia-greedy/n=64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Schedule(context.Background(), "sincronia-greedy", greedyIn,
+					coflow.SinglePath, engine.Options{MaxSlots: 48}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"lp/single-path/n=8", func(b *testing.B) {
+			opt := core.Options{Grid: core.DefaultGrid(lpIn, coflow.SinglePath, 24)}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveLP(lpIn, coflow.SinglePath, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, c := range cases {
+		br := testing.Benchmark(c.fn)
+		r := fromBenchmark(c.name, br)
+		cfg.Logf("bench: %-55s %25d ns/op", c.name, int64(r.NsPerOp))
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// fromBenchmark converts a testing.BenchmarkResult.
+func fromBenchmark(name string, br testing.BenchmarkResult) Result {
+	r := Result{
+		Name:        name,
+		Iterations:  br.N,
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: float64(br.AllocsPerOp()),
+		BytesPerOp:  float64(br.AllocedBytesPerOp()),
+	}
+	if v, ok := br.Extra["events/sec"]; ok {
+		r.EventsPerSec = v
+	}
+	return r
+}
+
+// peakRSS reads the process's high-water resident set size (VmHWM)
+// from /proc/self/status; 0 where the file or field is unavailable.
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -30,8 +30,9 @@ func adapterNames() []string {
 // the currently-known coflows with their remaining demands — and
 // converts the resulting offline schedule into a priority order by
 // planned completion time. Between re-plans the cached order is
-// water-filled in continuous time, so freed capacity is reused
-// immediately even while the plan is stale.
+// water-filled in continuous time (pruned of finished coflows so the
+// fill stays O(active)), so freed capacity is reused immediately even
+// while the plan is stale.
 type epochAdapter struct {
 	sched   string
 	opt     Options
@@ -55,13 +56,16 @@ func newAdapter(sched string, opt Options) (Policy, error) {
 
 func (p *epochAdapter) Name() string { return adapterPrefix + p.sched }
 
-func (p *epochAdapter) Allocate(ctx context.Context, st *State) ([][]float64, error) {
+func (p *epochAdapter) Allocate(ctx context.Context, st *State, out *Alloc) error {
 	if st.Replan || p.order == nil {
 		if err := p.replan(ctx, st); err != nil {
-			return nil, err
+			return err
 		}
+	} else {
+		p.order = pruneOrder(st, p.order)
 	}
-	return PriorityRates(st, p.order), nil
+	PriorityRates(st, p.order, out)
+	return nil
 }
 
 // replan runs the wrapped scheduler offline on the residual instance
@@ -99,9 +103,9 @@ func (p *epochAdapter) replan(ctx context.Context, st *State) error {
 		}
 		return back[order[a]] < back[order[b]]
 	})
-	p.order = make([]int, len(order))
-	for k, s := range order {
-		p.order[k] = back[s]
+	p.order = p.order[:0]
+	for _, s := range order {
+		p.order = append(p.order, back[s])
 	}
 	return nil
 }

@@ -1,0 +1,75 @@
+package sim
+
+import "repro/internal/graph"
+
+// FlowRate is one entry of a sparse rate assignment: flow Flow of
+// coflow Coflow transmits at Rate until the next event.
+type FlowRate struct {
+	Coflow, Flow int
+	Rate         float64
+}
+
+// Alloc is the sparse rate assignment a Policy fills in: one entry per
+// flow granted a positive rate, instead of the dense
+// coflows × flows matrix the simulator used before it scaled to
+// 100k-coflow instances. The simulator owns one Alloc per run and
+// hands it to the policy at every event, so a policy appends into a
+// reusable buffer and the event loop stays free of per-event garbage.
+//
+// Contract (enforced by the simulator's allocation checker):
+//
+//   - entries for one coflow are contiguous, with strictly ascending
+//     flow indices inside the group (the order PriorityRates and the
+//     fair filling naturally produce);
+//   - every entry names an active coflow and, when Rate > eps, a flow
+//     that is unfinished and released at State.Now;
+//   - per-edge loads stay within capacity.
+//
+// Entries with Rate ≤ eps are permitted (they are ignored by the
+// advance) but pointless; builders should skip them.
+type Alloc struct {
+	// Entries is the sparse assignment, grouped by coflow.
+	Entries []FlowRate
+
+	// Water-filling scratch shared by PriorityRates: residual is kept
+	// equal to caps between calls, dirty records the edges a call must
+	// restore, and satBase counts edges born without usable capacity.
+	// Lazily built for g on first use and rebuilt whenever the graph
+	// changes — keying on identity, not edge count, so an Alloc reused
+	// across same-sized graphs with different capacities cannot
+	// water-fill against stale ones.
+	g        *graph.Graph
+	caps     []float64
+	residual []float64
+	dirty    []graph.EdgeID
+	satBase  int
+}
+
+// Reset clears the entries, keeping the buffers.
+func (a *Alloc) Reset() { a.Entries = a.Entries[:0] }
+
+// Grant appends one sparse entry. Callers must respect the grouping
+// contract: all entries of a coflow together, flows ascending.
+func (a *Alloc) Grant(j, i int, rate float64) {
+	a.Entries = append(a.Entries, FlowRate{Coflow: j, Flow: i, Rate: rate})
+}
+
+// ensureScratch sizes the water-filling scratch for g. residual is
+// (re-)initialized to the edge capacities; callers restore it via the
+// dirty list so the next call starts clean without an O(edges) sweep.
+func (a *Alloc) ensureScratch(g *graph.Graph) {
+	if a.g == g {
+		return
+	}
+	a.g = g
+	a.caps = make([]float64, g.NumEdges())
+	a.satBase = 0
+	for _, e := range g.Edges() {
+		a.caps[e.ID] = e.Capacity
+		if e.Capacity <= eps {
+			a.satBase++
+		}
+	}
+	a.residual = append(a.residual[:0], a.caps...)
+	a.dirty = a.dirty[:0]
+}

@@ -1,0 +1,162 @@
+package sim
+
+// Differential tests: Simulate's indexed event queue, sparse
+// allocations, and incremental checking must be trace-preserving —
+// bit-identical to simulateReference, the un-optimized full-scan loop
+// kept as the executable spec. Every registered policy runs on seeded
+// random instances over four topology families, with per-flow release
+// jitter (exercising the flow-release heap) and epoch ticks, and the
+// full traces, completions, and aggregates are compared exactly.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/coflow"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// differentialTopos is the topology column: one representative per
+// family shape — single switch, path, 2-tier Clos, cycle.
+var differentialTopos = []string{
+	"big-switch:n=5",
+	"line:n=5",
+	"leaf-spine:leaves=3,spines=2,hosts=2",
+	"ring:n=6",
+}
+
+// differentialInstance builds a seeded random online instance on the
+// given topology: Poisson releases, and per-flow release jitter on
+// roughly a third of the flows so flow-release events (the min-heap
+// path) occur alongside reveals, ticks, and completions.
+func differentialInstance(t *testing.T, spec string, coflows int, seed int64) *coflow.Instance {
+	t.Helper()
+	top, err := topo.New(spec)
+	if err != nil {
+		t.Fatalf("topology %s: %v", spec, err)
+	}
+	in, err := workload.Generate(workload.Config{
+		Kind: workload.FB, Graph: top.Graph, NumCoflows: coflows, Seed: seed,
+		MeanInterarrival: 1.2, AssignPaths: true, Endpoints: top.Endpoints,
+	})
+	if err != nil {
+		t.Fatalf("workload on %s: %v", spec, err)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for j := range in.Coflows {
+		c := &in.Coflows[j]
+		for i := range c.Flows {
+			if rng.Intn(3) == 0 {
+				c.Flows[i].Release = c.Release + 0.5 + 2*rng.Float64()
+			}
+		}
+	}
+	return in
+}
+
+// diffCompare runs both loops and fails on the first divergence.
+func diffCompare(t *testing.T, in *coflow.Instance, opt Options) {
+	t.Helper()
+	ref, err := simulateReference(context.Background(), in, opt)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	got, err := Simulate(context.Background(), in, opt)
+	if err != nil {
+		t.Fatalf("optimized: %v", err)
+	}
+	if len(got.Trace) != len(ref.Trace) {
+		t.Fatalf("trace length %d, reference %d", len(got.Trace), len(ref.Trace))
+	}
+	for i := range ref.Trace {
+		if got.Trace[i] != ref.Trace[i] {
+			t.Fatalf("trace event %d: got %+v, reference %+v", i, got.Trace[i], ref.Trace[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Completions, ref.Completions) {
+		t.Fatalf("completions diverge:\n got %v\n ref %v", got.Completions, ref.Completions)
+	}
+	if got.WeightedCCT != ref.WeightedCCT || got.TotalCCT != ref.TotalCCT ||
+		got.AvgCCT != ref.AvgCCT || got.Makespan != ref.Makespan {
+		t.Fatalf("aggregates diverge: got (%v %v %v %v), ref (%v %v %v %v)",
+			got.WeightedCCT, got.TotalCCT, got.AvgCCT, got.Makespan,
+			ref.WeightedCCT, ref.TotalCCT, ref.AvgCCT, ref.Makespan)
+	}
+	if got.Events != ref.Events || got.Replans != ref.Replans {
+		t.Fatalf("events/replans diverge: got %d/%d, ref %d/%d",
+			got.Events, got.Replans, ref.Events, ref.Replans)
+	}
+}
+
+// TestDifferentialAllPolicies sweeps every registered policy (the
+// epoch adapters included) over the four families, with the paranoid
+// full check on so the incremental fast-path state is cross-verified
+// at every event while being diffed against the reference.
+func TestDifferentialAllPolicies(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		// Engine-wrapping policies solve an LP (or run a full offline
+		// baseline) per replan; smaller instances, fewer replans
+		// (longer epoch, one trial), and two of the four families keep
+		// the sweep affordable under -race (the simulator path they
+		// drive is the same one the cheap policies cover on all four).
+		coflows, topos := 20, differentialTopos
+		opt := Options{Epoch: 1.5, MaxSlots: 12, Trials: 2, Workers: 2, CheckEvery: 1}
+		if strings.HasPrefix(name, adapterPrefix) {
+			coflows, topos = 5, differentialTopos[:2]
+			opt.Epoch, opt.MaxSlots, opt.Trials = 3, 10, 1
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for ti, spec := range topos {
+				seed := int64(stats.SubSeed(97, uint64(ti)))
+				in := differentialInstance(t, spec, coflows, seed)
+				o := opt
+				o.Policy, o.Seed = name, seed
+				diffCompare(t, in, o)
+			}
+		})
+	}
+}
+
+// TestDifferentialClairvoyant pins the clairvoyant reveal path: all
+// coflows reveal at t=0 (in index order) while service still honors
+// releases, which stresses the batch-reveal sort and the release
+// heaps with a fully loaded pending set.
+func TestDifferentialClairvoyant(t *testing.T) {
+	for ti, spec := range differentialTopos {
+		seed := int64(stats.SubSeed(181, uint64(ti)))
+		in := differentialInstance(t, spec, 15, seed)
+		diffCompare(t, in, Options{
+			Policy: NameLAS, Seed: seed, Clairvoyant: true, CheckEvery: 1,
+		})
+		diffCompare(t, in, Options{
+			Policy: NameSincroniaOnline, Epoch: 2, Seed: seed, Clairvoyant: true, CheckEvery: 3,
+		})
+	}
+}
+
+// TestDifferentialSeedSweep runs the cheap policies over many seeds on
+// one topology — a breadth pass over event interleavings (simultaneous
+// reveals, ties between completions and ticks) that a single seed
+// cannot cover.
+func TestDifferentialSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short")
+	}
+	for _, name := range []string{NameFIFO, NameLAS, NameFair, NameSincroniaOnline} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for s := int64(0); s < 8; s++ {
+				in := differentialInstance(t, "big-switch:n=6", 30, 1000+s)
+				diffCompare(t, in, Options{Policy: name, Epoch: 2, Seed: s, CheckEvery: 5})
+			}
+		})
+	}
+}

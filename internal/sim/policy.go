@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/coflow"
+	"repro/internal/graph"
 )
 
 // Registry names of the built-in policies. Epoch adapters are named
@@ -43,13 +44,13 @@ func Register(name string, f Factory) {
 
 func init() {
 	Register(NameFIFO, func(Options) (Policy, error) {
-		return orderPolicy{name: NameFIFO, order: fifoOrder}, nil
+		return &fifoPolicy{}, nil
 	})
 	Register(NameLAS, func(Options) (Policy, error) {
-		return orderPolicy{name: NameLAS, order: lasOrder}, nil
+		return &lasPolicy{}, nil
 	})
 	Register(NameFair, func(Options) (Policy, error) {
-		return fairPolicy{}, nil
+		return &fairPolicy{}, nil
 	})
 	Register(NameSincroniaOnline, func(Options) (Policy, error) {
 		return &sincroniaOnline{}, nil
@@ -86,27 +87,38 @@ func New(name string, opt Options) (Policy, error) {
 	return nil, fmt.Errorf("sim: unknown policy %q (have %v)", name, Names())
 }
 
-// PriorityRates converts a coflow priority order into rates by strict
-// water-filling: walking the order, each available flow is granted the
-// residual bottleneck capacity along its path. Capacity a high-priority
-// coflow cannot use flows down to later coflows, so the allocation is
-// work-conserving. Coflows in the order that are finished or absent
-// are skipped, so stale cached orders are safe.
-func PriorityRates(st *State, order []int) [][]float64 {
+// PriorityRates converts a coflow priority order into sparse rates by
+// strict water-filling: walking the order, each available flow is
+// granted the residual bottleneck capacity along its path. Capacity a
+// high-priority coflow cannot use flows down to later coflows, so the
+// allocation is work-conserving. Coflows in the order that are
+// finished or absent are skipped, so stale cached orders are safe.
+// The water-filling scratch lives in out and is restored edge by edge
+// after the walk, so a call costs O(order·flows·path) regardless of
+// the network size — and once every edge is saturated the walk stops
+// early (no later coflow could be granted anything), which bounds the
+// cost by the network capacity rather than the backlog length when
+// the system is overloaded.
+func PriorityRates(st *State, order []int, out *Alloc) {
 	g := st.Inst.Graph
-	residual := make([]float64, g.NumEdges())
-	for _, e := range g.Edges() {
-		residual[e.ID] = e.Capacity
-	}
-	rates := make([][]float64, len(st.Inst.Coflows))
+	out.ensureScratch(g)
+	residual := out.residual
+	sat := out.satBase // edges with no usable residual capacity
+	ne := g.NumEdges()
+	horizon := st.Now + eps
 	for _, j := range order {
+		if sat >= ne {
+			break
+		}
 		c := &st.Inst.Coflows[j]
+		rem, rel := st.Remaining[j], st.effRel[j]
 		for i := range c.Flows {
-			if st.Remaining[j][i] <= eps || !st.Available(j, i) {
+			if rem[i] <= eps || rel[i] > horizon {
 				continue
 			}
-			r := residual[c.Flows[i].Path[0]]
-			for _, e := range c.Flows[i].Path[1:] {
+			path := c.Flows[i].Path
+			r := residual[path[0]]
+			for _, e := range path[1:] {
 				if residual[e] < r {
 					r = residual[e]
 				}
@@ -114,90 +126,146 @@ func PriorityRates(st *State, order []int) [][]float64 {
 			if r <= eps {
 				continue
 			}
-			if rates[j] == nil {
-				rates[j] = make([]float64, len(c.Flows))
-			}
-			rates[j][i] = r
-			for _, e := range c.Flows[i].Path {
+			out.Grant(j, i, r)
+			for _, e := range path {
+				// Every edge on a granted path had residual ≥ r > eps,
+				// so crossing eps here is this edge's first saturation.
 				residual[e] -= r
+				if residual[e] <= eps {
+					sat++
+				}
+				out.dirty = append(out.dirty, e)
 			}
 		}
 	}
-	return rates
+	for _, e := range out.dirty {
+		residual[e] = out.caps[e]
+	}
+	out.dirty = out.dirty[:0]
 }
 
-// orderPolicy derives rates from a priority order recomputed at every
-// event (the order functions are O(n log n), so caching buys nothing).
-type orderPolicy struct {
-	name  string
-	order func(st *State) []int
+// pruneOrder drops coflows that are no longer active from a cached
+// priority order, in place. PriorityRates would skip them anyway (all
+// their flows are drained), but walking a 100k-long order full of
+// finished coflows at every event is exactly the O(n²) this package
+// no longer pays; pruning keeps cached orders at the active-set size.
+func pruneOrder(st *State, order []int) []int {
+	k := 0
+	for _, j := range order {
+		if st.IsActive(j) {
+			order[k] = j
+			k++
+		}
+	}
+	return order[:k]
 }
 
-func (p orderPolicy) Name() string { return p.name }
-func (p orderPolicy) Allocate(_ context.Context, st *State) ([][]float64, error) {
-	return PriorityRates(st, p.order(st)), nil
+// fifoPolicy serves coflows in arrival order (ties by index): the
+// simplest non-clairvoyant baseline. The order is maintained
+// incrementally — coflows are revealed in (arrival, index) order, so
+// appending each reveal batch keeps the cached list exactly the
+// arrival-sorted order a per-event re-sort would produce, at O(active)
+// per event instead of O(active·log).
+type fifoPolicy struct {
+	order []int
+	added []bool
+	batch []int
 }
 
-// fifoOrder serves coflows in arrival order (ties by index): the
-// simplest non-clairvoyant baseline.
-func fifoOrder(st *State) []int {
-	order := append([]int(nil), st.Active...)
-	sort.SliceStable(order, func(a, b int) bool {
-		return st.Arrival[order[a]] < st.Arrival[order[b]]
+func (*fifoPolicy) Name() string { return NameFIFO }
+func (p *fifoPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
+	if p.added == nil {
+		p.added = make([]bool, len(st.Inst.Coflows))
+	}
+	p.order = pruneOrder(st, p.order)
+	p.batch = p.batch[:0]
+	for _, j := range st.Active {
+		if !p.added[j] {
+			p.added[j] = true
+			p.batch = append(p.batch, j)
+		}
+	}
+	// Within one reveal batch arrivals may differ (several releases
+	// can pass between two events); sort by arrival, ties keeping the
+	// ascending index order Active yields — the reference comparator.
+	sort.SliceStable(p.batch, func(a, b int) bool {
+		return st.Arrival[p.batch[a]] < st.Arrival[p.batch[b]]
 	})
-	return order
+	p.order = append(p.order, p.batch...)
+	PriorityRates(st, p.order, out)
+	return nil
 }
 
-// lasOrder prioritizes the coflow with the least attained service —
+// lasPolicy prioritizes the coflow with the least attained service —
 // the non-clairvoyant stand-in for shortest-first used by Bhimaraju,
 // Nayak & Vaze (2020): without knowing demands, the coflow that has
 // received the least data so far is the best guess at the shortest
-// one. Ties break by arrival, then index.
-func lasOrder(st *State) []int {
-	order := append([]int(nil), st.Active...)
-	sort.SliceStable(order, func(a, b int) bool {
-		ja, jb := order[a], order[b]
+// one. Ties break by arrival, then index. Attained service changes at
+// every event, so the order is re-sorted per call (over a reused
+// buffer).
+type lasPolicy struct {
+	order []int
+}
+
+func (*lasPolicy) Name() string { return NameLAS }
+func (p *lasPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
+	p.order = append(p.order[:0], st.Active...)
+	sort.SliceStable(p.order, func(a, b int) bool {
+		ja, jb := p.order[a], p.order[b]
 		if st.Attained[ja] != st.Attained[jb] {
 			return st.Attained[ja] < st.Attained[jb]
 		}
 		return st.Arrival[ja] < st.Arrival[jb]
 	})
-	return order
+	PriorityRates(st, p.order, out)
+	return nil
 }
 
 // fairPolicy is the work-conserving max-min fair share: progressive
 // filling raises every available flow's rate uniformly until an edge
 // saturates, freezes the flows through it, and repeats on the rest —
 // the per-flow fairness a network with no coflow scheduler would give.
-type fairPolicy struct{}
+// All scratch is reused across events; the live list is built in
+// ascending (coflow, flow) order, which is exactly the entry grouping
+// the sparse contract requires.
+type fairPolicy struct {
+	g        *graph.Graph
+	live     []liveFlow
+	count    []int
+	caps     []float64
+	residual []float64
+}
 
-func (fairPolicy) Name() string { return NameFair }
-func (fairPolicy) Allocate(_ context.Context, st *State) ([][]float64, error) {
+type liveFlow struct {
+	j, i   int
+	rate   float64
+	frozen bool
+}
+
+func (*fairPolicy) Name() string { return NameFair }
+func (p *fairPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 	g := st.Inst.Graph
-	residual := make([]float64, g.NumEdges())
-	for _, e := range g.Edges() {
-		residual[e.ID] = e.Capacity
+	if p.g != g {
+		p.g = g
+		p.caps = make([]float64, g.NumEdges())
+		for _, e := range g.Edges() {
+			p.caps[e.ID] = e.Capacity
+		}
+		p.residual = make([]float64, g.NumEdges())
+		p.count = make([]int, g.NumEdges())
 	}
-	type liveFlow struct {
-		j, i   int
-		frozen bool
-	}
-	var live []liveFlow
+	copy(p.residual, p.caps)
+	residual, count := p.residual, p.count
+	p.live = p.live[:0]
 	for _, j := range st.Active {
 		c := &st.Inst.Coflows[j]
 		for i := range c.Flows {
 			if st.Remaining[j][i] > eps && st.Available(j, i) {
-				live = append(live, liveFlow{j: j, i: i})
+				p.live = append(p.live, liveFlow{j: j, i: i})
 			}
 		}
 	}
-	rates := make([][]float64, len(st.Inst.Coflows))
-	for _, lf := range live {
-		if rates[lf.j] == nil {
-			rates[lf.j] = make([]float64, len(st.Inst.Coflows[lf.j].Flows))
-		}
-	}
-	count := make([]int, g.NumEdges())
+	live := p.live
 	for unfrozen := len(live); unfrozen > 0; {
 		for e := range count {
 			count[e] = 0
@@ -224,7 +292,7 @@ func (fairPolicy) Allocate(_ context.Context, st *State) ([][]float64, error) {
 				if live[i].frozen {
 					continue
 				}
-				rates[live[i].j][live[i].i] += delta
+				live[i].rate += delta
 				for _, e := range st.Inst.Coflows[live[i].j].Flows[live[i].i].Path {
 					residual[e] -= delta
 				}
@@ -252,32 +320,95 @@ func (fairPolicy) Allocate(_ context.Context, st *State) ([][]float64, error) {
 			break
 		}
 	}
-	return rates, nil
+	for _, lf := range live {
+		if lf.rate > eps {
+			out.Grant(lf.j, lf.i, lf.rate)
+		}
+	}
+	return nil
 }
 
 // sincroniaOnline re-runs the Sincronia BSSI ordering over the
 // currently-known residual instance at every arrival (and epoch tick),
 // then water-fills by that order — the natural online adaptation of
-// the offline bottleneck greedy.
+// the offline bottleneck greedy. Between replans the cached order is
+// pruned of finished coflows so water-filling stays O(active), and the
+// residual sub-instance is rebuilt into reusable buffers (the ordering
+// does not retain it), so a replan allocates nothing beyond what the
+// backlog's growth forces.
 type sincroniaOnline struct {
 	order []int // cached priority order, original coflow indices
+	sub   coflow.Instance
+	back  []int
+	flows []coflow.Flow // backing for all sub-instance flow slices
 }
 
 func (*sincroniaOnline) Name() string { return NameSincroniaOnline }
-func (p *sincroniaOnline) Allocate(_ context.Context, st *State) ([][]float64, error) {
+func (p *sincroniaOnline) Allocate(_ context.Context, st *State, out *Alloc) error {
 	if st.Replan || p.order == nil {
-		sub, back := ResidualInstance(st)
+		sub, back := p.residual(st)
 		if len(sub.Coflows) == 0 {
-			p.order = []int{}
-			return make([][]float64, len(st.Inst.Coflows)), nil
+			p.order = p.order[:0]
+			if p.order == nil {
+				p.order = []int{}
+			}
+			return nil
 		}
 		order := baselines.SincroniaOrder(sub)
-		p.order = make([]int, len(order))
-		for k, s := range order {
-			p.order[k] = back[s]
+		p.order = p.order[:0]
+		for _, s := range order {
+			p.order = append(p.order, back[s])
+		}
+	} else {
+		p.order = pruneOrder(st, p.order)
+	}
+	PriorityRates(st, p.order, out)
+	return nil
+}
+
+// residual is ResidualInstance into the policy's reusable buffers: a
+// first pass counts the surviving flows so the shared backing array
+// never reallocates mid-build (sub-instance coflows hold sub-slices
+// of it), then the second pass fills it. Values are identical to
+// ResidualInstance's.
+func (p *sincroniaOnline) residual(st *State) (*coflow.Instance, []int) {
+	total := 0
+	for _, j := range st.Active {
+		for _, rem := range st.Remaining[j] {
+			if rem > eps {
+				total++
+			}
 		}
 	}
-	return PriorityRates(st, p.order), nil
+	if cap(p.flows) < total {
+		p.flows = make([]coflow.Flow, 0, total+total/2)
+	}
+	p.flows = p.flows[:0]
+	p.sub.Graph = st.Inst.Graph
+	p.sub.Coflows = p.sub.Coflows[:0]
+	p.back = p.back[:0]
+	for _, j := range st.Active {
+		c := &st.Inst.Coflows[j]
+		start := len(p.flows)
+		for i, fl := range c.Flows {
+			if st.Remaining[j][i] <= eps {
+				continue
+			}
+			nf := fl
+			nf.Demand = st.Remaining[j][i]
+			nf.Release = math.Max(0, st.effRel[j][i]-st.Now)
+			p.flows = append(p.flows, nf)
+		}
+		if len(p.flows) == start {
+			continue
+		}
+		p.sub.Coflows = append(p.sub.Coflows, coflow.Coflow{
+			ID: c.ID, Weight: c.Weight, Release: math.Max(0, c.Release-st.Now),
+			Flows: p.flows[start:len(p.flows):len(p.flows)],
+		})
+		p.back = append(p.back, j)
+	}
+	return &p.sub, p.back
 }
 
 // ResidualInstance builds the offline sub-instance a planner sees at
@@ -290,18 +421,22 @@ func (p *sincroniaOnline) Allocate(_ context.Context, st *State) ([][]float64, e
 // are available immediately. The second return maps sub-instance
 // coflow indices back to indices in st.Inst.
 func ResidualInstance(st *State) (*coflow.Instance, []int) {
-	sub := &coflow.Instance{Graph: st.Inst.Graph}
-	var back []int
+	sub := &coflow.Instance{
+		Graph:   st.Inst.Graph,
+		Coflows: make([]coflow.Coflow, 0, len(st.Active)),
+	}
+	back := make([]int, 0, len(st.Active))
 	for _, j := range st.Active {
 		c := &st.Inst.Coflows[j]
 		nc := coflow.Coflow{ID: c.ID, Weight: c.Weight, Release: math.Max(0, c.Release-st.Now)}
+		nc.Flows = make([]coflow.Flow, 0, len(c.Flows))
 		for i, fl := range c.Flows {
 			if st.Remaining[j][i] <= eps {
 				continue
 			}
 			nf := fl
 			nf.Demand = st.Remaining[j][i]
-			nf.Release = math.Max(0, c.EffectiveRelease(i)-st.Now)
+			nf.Release = math.Max(0, st.effRel[j][i]-st.Now)
 			nc.Flows = append(nc.Flows, nf)
 		}
 		if len(nc.Flows) > 0 {

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/coflow"
+)
+
+// The indexed event queue. The original event loop rescanned every
+// coflow and every flow at every event to find the next reveal,
+// release, or completion — O(coflows·flows) per event, O(n²·flows)
+// per run. The queue replaces the scans with three indexed sources,
+// each O(log) or amortized O(1) per event:
+//
+//   - a pending list: coflow indices sorted by (release, index) with a
+//     cursor that only moves forward — the next reveal is always
+//     pending[cursor];
+//   - a flow-release min-heap: per-flow releases that trail their
+//     coflow's reveal, pushed at reveal time and discarded lazily once
+//     the flow is available or its coflow finished;
+//   - a completion min-heap keyed by the current rates: one candidate
+//     per granted flow, projected as now + remaining/rate. Bumping the
+//     generation on re-allocation invalidates prior entries lazily —
+//     stale generations are dropped at peek instead of being searched
+//     for and removed. Every event in this simulator refreshes the
+//     allocation (arrivals, completions, and releases all change the
+//     active or available set), so in practice the heap is rebuilt by
+//     heapify from the fresh sparse entries each round; the lazy
+//     generation check keeps partially surviving allocations correct
+//     if a future policy contract allows them.
+//
+// Everything here is deterministic: push order is fixed by the event
+// loop, and only minimum *times* are read, never pop order among ties.
+
+// pendingList is the release-sorted reveal index.
+type pendingList struct {
+	order  []int // coflow indices sorted by (Release, index)
+	cursor int
+}
+
+func newPendingList(inst *coflow.Instance) *pendingList {
+	p := &pendingList{order: make([]int, len(inst.Coflows))}
+	for j := range p.order {
+		p.order[j] = j
+	}
+	// Stable sort on release alone keeps equal releases in index
+	// order, matching the reference's j = 0..n reveal scan.
+	sort.SliceStable(p.order, func(a, b int) bool {
+		return inst.Coflows[p.order[a]].Release < inst.Coflows[p.order[b]].Release
+	})
+	return p
+}
+
+// takeDue appends to batch every not-yet-revealed coflow whose release
+// has passed (all of them when all is set), advancing the cursor.
+func (p *pendingList) takeDue(inst *coflow.Instance, now float64, all bool, batch []int) []int {
+	for p.cursor < len(p.order) {
+		j := p.order[p.cursor]
+		if !all && inst.Coflows[j].Release > now+eps {
+			break
+		}
+		batch = append(batch, j)
+		p.cursor++
+	}
+	return batch
+}
+
+// nextRelease returns the earliest unrevealed coflow release, or ok =
+// false when everything is revealed.
+func (p *pendingList) nextRelease(inst *coflow.Instance) (float64, bool) {
+	if p.cursor >= len(p.order) {
+		return 0, false
+	}
+	return inst.Coflows[p.order[p.cursor]].Release, true
+}
+
+// flowRelEntry is a future per-flow release of a revealed coflow.
+type flowRelEntry struct {
+	t    float64
+	j, i int
+}
+
+// flowRelHeap is a plain binary min-heap on t. Entries are discarded
+// lazily at peek time once stale (flow available, finished, or already
+// drained) — all permanent conditions, so dropping is safe.
+type flowRelHeap struct {
+	items []flowRelEntry
+}
+
+func (h *flowRelHeap) push(e flowRelEntry) {
+	h.items = append(h.items, e)
+	for k := len(h.items) - 1; k > 0; {
+		parent := (k - 1) / 2
+		if h.items[parent].t <= h.items[k].t {
+			break
+		}
+		h.items[parent], h.items[k] = h.items[k], h.items[parent]
+		k = parent
+	}
+}
+
+func (h *flowRelHeap) pop() {
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	h.siftDown(0)
+}
+
+func (h *flowRelHeap) siftDown(k int) {
+	n := len(h.items)
+	for {
+		l, r := 2*k+1, 2*k+2
+		m := k
+		if l < n && h.items[l].t < h.items[m].t {
+			m = l
+		}
+		if r < n && h.items[r].t < h.items[m].t {
+			m = r
+		}
+		if m == k {
+			return
+		}
+		h.items[k], h.items[m] = h.items[m], h.items[k]
+		k = m
+	}
+}
+
+// nextRelease peeks the earliest still-relevant flow release strictly
+// in the future of now, dropping stale entries. A candidate is stale
+// once its coflow finished, its flow drained (zero residual demand),
+// or its release passed (the flow is simply available; no event is
+// needed) — none of these conditions can un-happen, so popping is
+// permanent-safe.
+func (h *flowRelHeap) nextRelease(now float64, finished []bool, remaining [][]float64) (float64, bool) {
+	for len(h.items) > 0 {
+		top := h.items[0]
+		if finished[top.j] || remaining[top.j][top.i] <= eps || top.t <= now+eps {
+			h.pop()
+			continue
+		}
+		return top.t, true
+	}
+	return 0, false
+}
+
+// compEntry is one projected completion at the current rates.
+type compEntry struct {
+	t   float64
+	gen uint64
+}
+
+// compHeap is the completion min-heap. Entries carry the allocation
+// generation they were computed under; reset bumps the generation so
+// everything older is invalid and dropped lazily at peek.
+type compHeap struct {
+	items []compEntry
+	gen   uint64
+}
+
+// invalidate marks every current entry stale (the policy re-allocated)
+// and reclaims the buffer.
+func (h *compHeap) invalidate() {
+	h.gen++
+	h.items = h.items[:0]
+}
+
+// add records one candidate under the current generation; call init
+// once after the batch.
+func (h *compHeap) add(t float64) {
+	h.items = append(h.items, compEntry{t: t, gen: h.gen})
+}
+
+// heapify establishes the heap order over the batch in O(n).
+func (h *compHeap) heapify() {
+	for k := len(h.items)/2 - 1; k >= 0; k-- {
+		h.siftDown(k)
+	}
+}
+
+func (h *compHeap) siftDown(k int) {
+	n := len(h.items)
+	for {
+		l, r := 2*k+1, 2*k+2
+		m := k
+		if l < n && h.items[l].t < h.items[m].t {
+			m = l
+		}
+		if r < n && h.items[r].t < h.items[m].t {
+			m = r
+		}
+		if m == k {
+			return
+		}
+		h.items[k], h.items[m] = h.items[m], h.items[k]
+		k = m
+	}
+}
+
+// min peeks the earliest valid completion candidate, discarding stale
+// generations.
+func (h *compHeap) min() (float64, bool) {
+	for len(h.items) > 0 {
+		if h.items[0].gen != h.gen {
+			n := len(h.items) - 1
+			h.items[0] = h.items[n]
+			h.items = h.items[:n]
+			h.siftDown(0)
+			continue
+		}
+		return h.items[0].t, true
+	}
+	return 0, false
+}

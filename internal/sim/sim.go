@@ -22,6 +22,19 @@
 //     turning every offline algorithm in the registry into an online
 //     one.
 //
+// The event loop is built to scale to 100k-coflow instances: the next
+// event comes from an indexed queue (a release-sorted pending list, a
+// flow-release min-heap, and a completion min-heap keyed by the
+// current rates — see queue.go) instead of per-event full scans,
+// policies return sparse per-active-coflow rate entries over reusable
+// buffers (see alloc.go) instead of dense coflows × flows matrices,
+// and the per-event allocation check is incremental over the touched
+// entries and edges. The un-optimized O(n²·flows) loop survives as
+// simulateReference (reference.go), the executable spec the
+// differential tests hold Simulate bit-identical to; the full
+// from-scratch verification is available behind Options.CheckEvery and
+// is what conformance runs use.
+//
 // Simulation runs in the single path model (fixed routes), the model
 // all ordering baselines share; times are in slot units, identical to
 // the continuous units of demands and capacities, so online results
@@ -37,8 +50,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/coflow"
+	"repro/internal/graph"
 )
 
 const eps = 1e-9
@@ -75,6 +90,17 @@ type Options struct {
 	// continuous-time run against a slot-quantized offline schedule
 	// would systematically deflate the ratio.
 	Clairvoyant bool
+	// CheckEvery enables the full from-scratch verification pass
+	// (paranoid mode) every CheckEvery-th event, on top of the
+	// always-on incremental allocation check: 1 verifies every event
+	// (what conformance runs use), larger values sample, and 0 or a
+	// negative value disables the full pass. The full pass
+	// cross-checks the incrementally maintained active set, the
+	// attained-service bookkeeping, and the complete per-edge load
+	// vector against a from-scratch reconstruction, so a bug in the
+	// indexed fast path cannot silently drift. Checking never alters
+	// the trace.
+	CheckEvery int
 }
 
 // Normalize fills in defaults.
@@ -169,7 +195,8 @@ type State struct {
 	// Now is the current simulation time.
 	Now float64
 	// Active lists revealed, unfinished coflow indices in ascending
-	// order.
+	// order. It is maintained incrementally — policies must not
+	// retain it across calls.
 	Active []int
 	// Remaining[j][i] is the residual demand of flow i of coflow j.
 	Remaining [][]float64
@@ -183,24 +210,66 @@ type State struct {
 	// Replan is true when this call follows an arrival or epoch tick;
 	// expensive policies may cache their plan between Replan calls.
 	Replan bool
+
+	// activeMask[j] mirrors membership of j in Active for O(1)
+	// lookups (see IsActive). Maintained by the simulator.
+	activeMask []bool
+	// effRel[j][i] caches Coflow.EffectiveRelease(i): Available runs
+	// once per flow per event, and the max() behind EffectiveRelease
+	// showed up in profiles at 100k-coflow scale.
+	effRel [][]float64
+}
+
+// newState builds the per-run policy-visible state; shared by the
+// optimized and the reference event loops so both present policies
+// with identical inputs.
+func newState(inst *coflow.Instance) *State {
+	nc := len(inst.Coflows)
+	st := &State{
+		Inst:       inst,
+		Remaining:  make([][]float64, nc),
+		Attained:   make([]float64, nc),
+		Arrival:    make([]float64, nc),
+		activeMask: make([]bool, nc),
+		effRel:     make([][]float64, nc),
+	}
+	for j := 0; j < nc; j++ {
+		c := &inst.Coflows[j]
+		st.Remaining[j] = make([]float64, len(c.Flows))
+		st.effRel[j] = make([]float64, len(c.Flows))
+		for i, fl := range c.Flows {
+			st.Remaining[j][i] = fl.Demand
+			st.effRel[j][i] = c.EffectiveRelease(i)
+		}
+		st.Arrival[j] = c.Release
+	}
+	return st
 }
 
 // Available reports whether flow i of active coflow j is released at
 // State.Now (per-flow releases may trail the coflow's reveal).
 func (st *State) Available(j, i int) bool {
-	return st.Inst.Coflows[j].EffectiveRelease(i) <= st.Now+eps
+	return st.effRel[j][i] <= st.Now+eps
 }
 
-// Policy plans transmissions for the currently-known coflows. Allocate
-// returns per-flow transmission rates, indexed [coflow][flow] over the
-// full instance; rates for finished, unavailable, or unreleased flows
-// are ignored. Implementations must be deterministic in (State,
-// construction Options).
+// IsActive reports in O(1) whether coflow j is currently revealed and
+// unfinished — membership in Active without the scan. Policies use it
+// to prune finished coflows from cached priority orders.
+func (st *State) IsActive(j int) bool { return st.activeMask[j] }
+
+// Policy plans transmissions for the currently-known coflows.
+// Allocate appends sparse per-flow rate entries for the interval until
+// the next event into out (see Alloc for the grouping contract);
+// finished, unavailable, or unreleased flows must not be granted a
+// positive rate. The simulator resets out before every call.
+// Implementations must be deterministic in (State, construction
+// Options).
 type Policy interface {
 	// Name is the registry name the policy answers to.
 	Name() string
-	// Allocate returns the rate matrix to use until the next event.
-	Allocate(ctx context.Context, st *State) ([][]float64, error)
+	// Allocate fills out with the sparse rate assignment to use until
+	// the next event.
+	Allocate(ctx context.Context, st *State, out *Alloc) error
 }
 
 // Simulate runs the online simulation of inst under the policy named
@@ -219,169 +288,216 @@ func Simulate(ctx context.Context, inst *coflow.Instance, opt Options) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	return newRunner(inst, opt, pol).run(ctx)
+}
 
+// runner is the per-run state of the optimized event loop.
+type runner struct {
+	inst *coflow.Instance
+	opt  Options
+	pol  Policy
+	st   *State
+	res  *Result
+
+	caps     []float64
+	revealed []bool
+	finished []bool
+
+	pending *pendingList
+	flowRel flowRelHeap
+	comp    compHeap
+
+	alloc Alloc
+
+	now       float64
+	done      int
+	nextEpoch float64
+
+	// Per-event scratch, reused across events.
+	batch   []int // coflows revealed this event
+	cand    []int // completion candidates (served or revealed)
+	candIn  []bool
+	group   []int // per coflow: last event it opened an entry group in
+	load    []float64
+	touched []graph.EdgeID
+	// Full-check scratch.
+	fullActive []int
+	fullLoad   []float64
+}
+
+func newRunner(inst *coflow.Instance, opt Options, pol Policy) *runner {
 	g := inst.Graph
 	nc := len(inst.Coflows)
-	caps := make([]float64, g.NumEdges())
+	r := &runner{
+		inst:     inst,
+		opt:      opt,
+		pol:      pol,
+		caps:     make([]float64, g.NumEdges()),
+		revealed: make([]bool, nc),
+		finished: make([]bool, nc),
+		pending:  newPendingList(inst),
+		candIn:   make([]bool, nc),
+		group:    make([]int, nc),
+		load:     make([]float64, g.NumEdges()),
+	}
 	for _, e := range g.Edges() {
-		caps[e.ID] = e.Capacity
+		r.caps[e.ID] = e.Capacity
 	}
-
-	st := &State{
-		Inst:      inst,
-		Remaining: make([][]float64, nc),
-		Attained:  make([]float64, nc),
-		Arrival:   make([]float64, nc),
+	st := newState(inst)
+	for j := range r.group {
+		r.group[j] = -1
 	}
-	revealed := make([]bool, nc)
-	finished := make([]bool, nc)
-	for j := 0; j < nc; j++ {
-		c := &inst.Coflows[j]
-		st.Remaining[j] = make([]float64, len(c.Flows))
-		for i, fl := range c.Flows {
-			st.Remaining[j][i] = fl.Demand
-		}
-		st.Arrival[j] = c.Release
-	}
-
-	res := &Result{
+	r.st = st
+	r.res = &Result{
 		Policy:      opt.Policy,
 		Completions: make([]float64, nc),
 		Arrivals:    append([]float64(nil), st.Arrival...),
+		Trace:       make([]Event, 0, 2*nc+8),
 	}
+	return r
+}
 
-	now := 0.0
-	done := 0
-	nextEpoch := math.Inf(1)
+func (r *runner) run(ctx context.Context) (*Result, error) {
+	inst, opt, st, res := r.inst, r.opt, r.st, r.res
+	nc := len(inst.Coflows)
+	r.nextEpoch = math.Inf(1)
 	if opt.Epoch > 0 {
-		nextEpoch = opt.Epoch
+		r.nextEpoch = opt.Epoch
 	}
-	// Scratch buffers for the per-event rate validation, allocated once
-	// to keep the event loop free of per-event garbage.
-	activeBuf := make([]bool, nc)
-	loadBuf := make([]float64, g.NumEdges())
-	for done < nc {
+	for r.done < nc {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if res.Events >= opt.MaxEvents {
 			return nil, fmt.Errorf("sim: event cap %d reached at t=%g (%d/%d coflows done)",
-				opt.MaxEvents, now, done, nc)
+				opt.MaxEvents, r.now, r.done, nc)
 		}
 		res.Events++
 
 		// Reveal coflows whose release time has passed (all of them at
-		// t=0 in clairvoyant mode).
+		// t=0 in clairvoyant mode). The pending list yields them in
+		// (release, index) order; arrivals sharing one event are
+		// re-sorted by index to match the reference's 0..n scan.
 		replan := false
-		for j := 0; j < nc; j++ {
-			if !revealed[j] && (opt.Clairvoyant || inst.Coflows[j].Release <= now+eps) {
-				revealed[j] = true
-				replan = true
-				res.Trace = append(res.Trace, Event{Time: now, Kind: Arrival, Coflow: j})
+		r.batch = r.pending.takeDue(inst, r.now, opt.Clairvoyant, r.batch[:0])
+		if len(r.batch) > 0 {
+			replan = true
+			sort.Ints(r.batch)
+			for _, j := range r.batch {
+				r.revealed[j] = true
+				res.Trace = append(res.Trace, Event{Time: r.now, Kind: Arrival, Coflow: j})
+				// Index the coflow's trailing per-flow releases; flows
+				// already available (or drained) never need an event.
+				for i := range st.effRel[j] {
+					if st.Remaining[j][i] <= eps {
+						continue
+					}
+					if rel := st.effRel[j][i]; rel > r.now+eps {
+						r.flowRel.push(flowRelEntry{t: rel, j: j, i: i})
+					}
+				}
 			}
+			r.insertActive(r.batch)
 		}
 		// Epoch timer. The next tick is computed multiplicatively (the
 		// first multiple of Epoch past now) rather than by repeated
 		// addition, so a long event-free jump costs O(1) and float
 		// accumulation cannot stall the advance.
-		if opt.Epoch > 0 && nextEpoch <= now+eps {
+		if opt.Epoch > 0 && r.nextEpoch <= r.now+eps {
 			replan = true
-			res.Trace = append(res.Trace, Event{Time: now, Kind: EpochTick, Coflow: -1})
-			nextEpoch = opt.Epoch * (math.Floor(now/opt.Epoch) + 1)
-			if nextEpoch <= now+eps {
-				nextEpoch += opt.Epoch
+			res.Trace = append(res.Trace, Event{Time: r.now, Kind: EpochTick, Coflow: -1})
+			r.nextEpoch = opt.Epoch * (math.Floor(r.now/opt.Epoch) + 1)
+			if r.nextEpoch <= r.now+eps {
+				r.nextEpoch += opt.Epoch
 			}
 		}
 
-		st.Now = now
-		st.Active = st.Active[:0]
-		for j := 0; j < nc; j++ {
-			if revealed[j] && !finished[j] {
-				st.Active = append(st.Active, j)
-			}
-		}
+		st.Now = r.now
 		st.Replan = replan
 
-		var rates [][]float64
+		r.alloc.Reset()
 		if len(st.Active) > 0 {
 			if replan {
 				res.Replans++
 			}
-			if rates, err = pol.Allocate(ctx, st); err != nil {
-				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, now, err)
+			if err := r.pol.Allocate(ctx, st, &r.alloc); err != nil {
+				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, r.now, err)
 			}
-			if err := checkRates(st, caps, rates, activeBuf, loadBuf); err != nil {
-				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, now, err)
+			if err := r.checkAlloc(); err != nil {
+				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, r.now, err)
+			}
+			if opt.CheckEvery > 0 && res.Events%opt.CheckEvery == 0 {
+				if err := r.checkFull(); err != nil {
+					return nil, fmt.Errorf("sim: full check at t=%g (event %d): %w", r.now, res.Events, err)
+				}
 			}
 		}
 
 		// Next event: the earliest of coflow reveal, flow release,
-		// epoch tick, and flow completion at the current rates. The
-		// coflow's own Release is an event even when all its flows
-		// release later: the reveal must land at the release time, not
-		// piggyback on whatever event happens to fire next. Epoch ticks
-		// only count while something is active — an idle gap would
+		// epoch tick, and flow completion at the current rates — each
+		// read from its index instead of a full scan. Epoch ticks only
+		// count while something is active — an idle gap would
 		// otherwise burn one no-op event per period; the tick due at
 		// the end of the gap still fires with the arrival that ends it.
 		next := math.Inf(1)
 		if len(st.Active) > 0 {
-			next = nextEpoch
+			next = r.nextEpoch
 		}
-		for j := 0; j < nc; j++ {
-			if finished[j] {
-				continue
-			}
-			c := &inst.Coflows[j]
-			if !revealed[j] && c.Release > now+eps && c.Release < next {
-				next = c.Release
-			}
-			for i := range c.Flows {
-				if st.Remaining[j][i] <= eps {
-					continue
-				}
-				if r := c.EffectiveRelease(i); r > now+eps && r < next {
-					next = r
-				}
-			}
+		if rel, ok := r.pending.nextRelease(inst); ok && rel < next {
+			next = rel
+		}
+		if rel, ok := r.flowRel.nextRelease(r.now, r.finished, st.Remaining); ok && rel < next {
+			next = rel
 		}
 		progress := false
-		for _, j := range st.Active {
-			if rates == nil || rates[j] == nil {
+		r.comp.invalidate()
+		for _, en := range r.alloc.Entries {
+			if st.Remaining[en.Coflow][en.Flow] <= eps || en.Rate <= eps {
 				continue
 			}
-			for i, rem := range st.Remaining[j] {
-				if rem <= eps || rates[j][i] <= eps {
-					continue
-				}
-				progress = true
-				if t := now + rem/rates[j][i]; t < next {
-					next = t
-				}
-			}
+			progress = true
+			r.comp.add(r.now + st.Remaining[en.Coflow][en.Flow]/en.Rate)
+		}
+		r.comp.heapify()
+		if t, ok := r.comp.min(); ok && t < next {
+			next = t
 		}
 		if math.IsInf(next, 1) {
 			return nil, fmt.Errorf("sim: stalled at t=%g with %d/%d coflows done (no rates, no pending events)",
-				now, done, nc)
+				r.now, r.done, nc)
 		}
-		if !progress && next <= now+eps {
-			return nil, fmt.Errorf("sim: no progress at t=%g", now)
+		if !progress && next <= r.now+eps {
+			return nil, fmt.Errorf("sim: no progress at t=%g", r.now)
 		}
-		dt := next - now
+		dt := next - r.now
 		if dt < 0 {
 			dt = 0
 		}
 
-		// Advance: deplete demands at constant rates for dt.
-		for _, j := range st.Active {
-			if rates == nil || rates[j] == nil {
-				continue
+		// Advance: deplete demands at constant rates for dt, walking
+		// the sparse entries group by group. Per-coflow served sums
+		// accumulate in flow order within each group — the same order
+		// the dense reference uses — so Attained stays bit-identical.
+		// Completion candidates are the coflows served this event plus
+		// the ones revealed at its start (a zero-demand coflow
+		// completes at reveal without ever being served).
+		r.cand = r.cand[:0]
+		for _, j := range r.batch {
+			if !r.candIn[j] {
+				r.candIn[j] = true
+				r.cand = append(r.cand, j)
 			}
+		}
+		entries := r.alloc.Entries
+		for k := 0; k < len(entries); {
+			j := entries[k].Coflow
 			served := 0.0
-			for i := range st.Remaining[j] {
-				if st.Remaining[j][i] <= eps || rates[j][i] <= eps {
+			for ; k < len(entries) && entries[k].Coflow == j; k++ {
+				i, rate := entries[k].Flow, entries[k].Rate
+				if st.Remaining[j][i] <= eps || rate <= eps {
 					continue
 				}
-				d := rates[j][i] * dt
+				d := rate * dt
 				if d > st.Remaining[j][i] {
 					d = st.Remaining[j][i]
 				}
@@ -392,11 +508,21 @@ func Simulate(ctx context.Context, inst *coflow.Instance, opt Options) (*Result,
 				}
 			}
 			st.Attained[j] += served
+			if !r.candIn[j] {
+				r.candIn[j] = true
+				r.cand = append(r.cand, j)
+			}
 		}
-		now = next
+		r.now = next
 
-		// Completions.
-		for _, j := range st.Active {
+		// Completions, in ascending coflow order as the reference's
+		// Active scan emits them.
+		sort.Ints(r.cand)
+		for _, j := range r.cand {
+			r.candIn[j] = false
+			if r.finished[j] {
+				continue
+			}
 			all := true
 			for _, rem := range st.Remaining[j] {
 				if rem > eps {
@@ -405,10 +531,11 @@ func Simulate(ctx context.Context, inst *coflow.Instance, opt Options) (*Result,
 				}
 			}
 			if all {
-				finished[j] = true
-				done++
-				res.Completions[j] = now
-				res.Trace = append(res.Trace, Event{Time: now, Kind: Completion, Coflow: j})
+				r.finished[j] = true
+				r.done++
+				res.Completions[j] = r.now
+				res.Trace = append(res.Trace, Event{Time: r.now, Kind: Completion, Coflow: j})
+				r.removeActive(j)
 			}
 		}
 	}
@@ -426,62 +553,166 @@ func Simulate(ctx context.Context, inst *coflow.Instance, opt Options) (*Result,
 	return res, nil
 }
 
-// checkRates verifies the policy's allocation: a full-instance rate
-// matrix, non-negative rates, nothing granted to unavailable flows,
-// and per-edge loads within capacity. A violation is a policy bug and
-// surfaces as a diagnostic error, not a panic. active and load are
-// caller-owned scratch buffers (len = coflows / edges), cleared here.
-func checkRates(st *State, caps []float64, rates [][]float64, active []bool, load []float64) error {
-	if len(rates) != len(st.Inst.Coflows) {
-		return fmt.Errorf("rate matrix has %d rows for %d coflows (size it by the full instance)",
-			len(rates), len(st.Inst.Coflows))
+// insertActive merges the ascending reveal batch into the ascending
+// active list and sets the membership mask.
+func (r *runner) insertActive(batch []int) {
+	st := r.st
+	for _, j := range batch {
+		st.activeMask[j] = true
 	}
-	for j := range active {
-		active[j] = false
+	n := len(st.Active)
+	st.Active = append(st.Active, batch...)
+	a := st.Active
+	i, b, k := n-1, len(batch)-1, len(a)-1
+	for b >= 0 {
+		if i >= 0 && a[i] > batch[b] {
+			a[k] = a[i]
+			i--
+		} else {
+			a[k] = batch[b]
+			b--
+		}
+		k--
 	}
-	for _, j := range st.Active {
-		active[j] = true
+}
+
+// removeActive deletes j from the ascending active list and clears its
+// mask bit.
+func (r *runner) removeActive(j int) {
+	st := r.st
+	st.activeMask[j] = false
+	k := sort.SearchInts(st.Active, j)
+	if k < len(st.Active) && st.Active[k] == j {
+		copy(st.Active[k:], st.Active[k+1:])
+		st.Active = st.Active[:len(st.Active)-1]
 	}
-	for e := range load {
-		load[e] = 0
-	}
-	for j := range rates {
-		if rates[j] == nil {
+}
+
+// checkAlloc is the incremental per-event verification of the policy's
+// sparse allocation: entry bounds, the grouping contract, no service
+// to inactive coflows or unavailable flows, no duplicate grants, and
+// per-edge loads within capacity — touching only the entries and the
+// edges they load, O(entries·path) instead of O(coflows·flows +
+// edges). A violation is a policy bug and surfaces as a diagnostic
+// error, not a panic.
+func (r *runner) checkAlloc() error {
+	st := r.st
+	nc := len(st.Inst.Coflows)
+	ev := r.res.Events
+	lastJ := -1
+	lastFlow := -1
+	for _, en := range r.alloc.Entries {
+		j := en.Coflow
+		if j < 0 || j >= nc {
+			return fmt.Errorf("allocation entry names coflow %d of %d", j, nc)
+		}
+		c := &st.Inst.Coflows[j]
+		if en.Flow < 0 || en.Flow >= len(c.Flows) {
+			return fmt.Errorf("allocation entry names flow %d of coflow %d (%d flows)", en.Flow, j, len(c.Flows))
+		}
+		if j != lastJ {
+			if r.group[j] == ev {
+				return fmt.Errorf("allocation entries for coflow %d are not contiguous", j)
+			}
+			r.group[j] = ev
+			lastJ, lastFlow = j, -1
+		}
+		if en.Flow <= lastFlow {
+			return fmt.Errorf("allocation entries for coflow %d are not in ascending flow order", j)
+		}
+		lastFlow = en.Flow
+		rate := en.Rate
+		if !(rate >= 0) {
+			return fmt.Errorf("negative rate %g for coflow %d flow %d", rate, j, en.Flow)
+		}
+		if rate <= eps {
 			continue
 		}
-		if !active[j] {
+		if !st.activeMask[j] {
 			// A positive rate on an unrevealed or finished coflow means
 			// the policy used information it must not have.
-			for i, r := range rates[j] {
-				if r > eps {
-					return fmt.Errorf("rate %g granted to inactive coflow %d flow %d", r, j, i)
-				}
+			return fmt.Errorf("rate %g granted to inactive coflow %d flow %d", rate, j, en.Flow)
+		}
+		if st.Remaining[j][en.Flow] <= eps || !st.Available(j, en.Flow) {
+			return fmt.Errorf("rate %g granted to inactive flow %d of coflow %d", rate, en.Flow, j)
+		}
+		for _, e := range c.Flows[en.Flow].Path {
+			if r.load[e] == 0 {
+				r.touched = append(r.touched, e)
 			}
+			r.load[e] += rate
+		}
+	}
+	var err error
+	for _, e := range r.touched {
+		if err == nil && r.load[e] > r.caps[e]*(1+1e-6)+eps {
+			err = fmt.Errorf("edge %d overloaded: rate %g > capacity %g", e, r.load[e], r.caps[e])
+		}
+		r.load[e] = 0
+	}
+	r.touched = r.touched[:0]
+	return err
+}
+
+// checkFull is the paranoid from-scratch verification behind
+// Options.CheckEvery: it reconstructs the active set from the
+// revealed/finished flags, re-derives every coflow's attained service
+// from the initial demands and the residuals, and rebuilds the entire
+// per-edge load vector from the sparse entries — and demands each
+// matches the incrementally maintained fast-path state. Conformance
+// runs enable it at CheckEvery=1.
+func (r *runner) checkFull() error {
+	st := r.st
+	nc := len(st.Inst.Coflows)
+	r.fullActive = r.fullActive[:0]
+	for j := 0; j < nc; j++ {
+		if r.revealed[j] && !r.finished[j] {
+			r.fullActive = append(r.fullActive, j)
+		}
+		if st.activeMask[j] != (r.revealed[j] && !r.finished[j]) {
+			return fmt.Errorf("active mask for coflow %d is %v, flags say revealed=%v finished=%v",
+				j, st.activeMask[j], r.revealed[j], r.finished[j])
+		}
+	}
+	if len(r.fullActive) != len(st.Active) {
+		return fmt.Errorf("active list has %d coflows, flags give %d", len(st.Active), len(r.fullActive))
+	}
+	for k, j := range r.fullActive {
+		if st.Active[k] != j {
+			return fmt.Errorf("active list position %d holds coflow %d, flags give %d", k, st.Active[k], j)
+		}
+	}
+	for j := 0; j < nc; j++ {
+		if !r.revealed[j] {
 			continue
 		}
 		c := &st.Inst.Coflows[j]
-		if len(rates[j]) != len(c.Flows) {
-			return fmt.Errorf("coflow %d rate row has %d entries for %d flows", j, len(rates[j]), len(c.Flows))
-		}
+		want := 0.0
 		for i := range c.Flows {
-			r := rates[j][i]
-			if r < 0 {
-				return fmt.Errorf("negative rate %g for coflow %d flow %d", r, j, i)
-			}
-			if r <= eps {
-				continue
-			}
-			if st.Remaining[j][i] <= eps || !st.Available(j, i) {
-				return fmt.Errorf("rate %g granted to inactive flow %d of coflow %d", r, i, j)
-			}
-			for _, e := range c.Flows[i].Path {
-				load[e] += r
-			}
+			want += c.Flows[i].Demand - st.Remaining[j][i]
+		}
+		if math.Abs(st.Attained[j]-want) > 1e-6*math.Max(1, want) {
+			return fmt.Errorf("coflow %d attained %g, residuals give %g", j, st.Attained[j], want)
 		}
 	}
-	for e, l := range load {
-		if l > caps[e]*(1+1e-6)+eps {
-			return fmt.Errorf("edge %d overloaded: rate %g > capacity %g", e, l, caps[e])
+	// Full per-edge load rebuild: every edge, not just the touched set.
+	if len(r.fullLoad) != len(r.caps) {
+		r.fullLoad = make([]float64, len(r.caps))
+	}
+	for e := range r.fullLoad {
+		r.fullLoad[e] = 0
+	}
+	for _, en := range r.alloc.Entries {
+		if en.Rate <= eps {
+			continue
+		}
+		for _, e := range st.Inst.Coflows[en.Coflow].Flows[en.Flow].Path {
+			r.fullLoad[e] += en.Rate
+		}
+	}
+	for e, l := range r.fullLoad {
+		if l > r.caps[e]*(1+1e-6)+eps {
+			return fmt.Errorf("edge %d overloaded: rate %g > capacity %g", e, l, r.caps[e])
 		}
 	}
 	return nil

@@ -1,0 +1,123 @@
+package topo
+
+// Native Go fuzzing for the spec-grammar parser and the generators
+// behind it. The contract under fuzz: ParseSpec and New return errors
+// on bad input — they never panic, never hang, and never hand back a
+// "successful" topology that violates its own invariants (non-finite
+// capacities, too few nodes, endpoints off the graph). Seed corpora
+// live under testdata/fuzz/<FuzzName>/ next to this file; run with
+//
+//	go test -fuzz FuzzParseSpec ./internal/topo
+//	go test -fuzz FuzzNewTopology ./internal/topo
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary strings at the grammar: any outcome
+// is fine except a panic, and a successful parse must echo a known
+// family with fully finite parameters.
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range []string{
+		"big-switch",
+		"big-switch:n=4",
+		"fat-tree:k=4",
+		"leaf-spine:leaves=4,spines=2,hosts=2,up=0.5",
+		"erdos-renyi:n=10,p=0.3,seed=7,hetero=1",
+		"random-regular:n=8,d=3",
+		"line:n=0x4",
+		"ring:n=6,cap=2.5",
+		"star:n=NaN",
+		"star:n=+Inf",
+		"star:cap=-1e308",
+		"star:seed=1e300",
+		"line : n = 4 ",
+		"line:n",
+		"line:=4",
+		"line:n=4,n=5",
+		":n=4",
+		"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		name, params, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if _, ok := families[name]; !ok {
+			t.Fatalf("ParseSpec(%q) accepted unknown family %q", spec, name)
+		}
+		for k, v := range params {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseSpec(%q) let non-finite %s=%g through", spec, k, v)
+			}
+		}
+	})
+}
+
+// fuzzBuildable reports whether a parsed spec is small enough to
+// build inside the fuzzer's time budget: every integer-ish parameter
+// capped so no generator touches more than a few thousand nodes. The
+// cap only gates the fuzz harness — New itself must stay panic-free at
+// any accepted size.
+func fuzzBuildable(params map[string]float64) bool {
+	for _, k := range []string{"n", "k", "leaves", "spines", "hosts", "d"} {
+		if v, ok := params[k]; ok && (v < 0 || v > 64) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzNewTopology drives the full generator path: parse, build, and
+// check the invariants every returned Topology promises — a graph with
+// at least one node, strictly positive finite edge capacities, and
+// endpoints that are in-range nodes of that graph.
+func FuzzNewTopology(f *testing.F) {
+	for _, s := range []string{
+		"big-switch:n=5",
+		"star:n=3,hetero=1,seed=9",
+		"line:n=2",
+		"ring:n=3",
+		"fat-tree:k=2",
+		"leaf-spine:leaves=2,spines=1,hosts=1",
+		"random-regular:n=4,d=3",
+		"random-regular:n=5,d=4",
+		"erdos-renyi:n=2,p=1",
+		"erdos-renyi:n=9,p=0,seed=3",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		name, params, err := ParseSpec(spec)
+		if err != nil || !fuzzBuildable(params) {
+			return
+		}
+		top, err := New(spec)
+		if err != nil {
+			return
+		}
+		if top.Family != name || top.Graph == nil {
+			t.Fatalf("New(%q) returned malformed topology %+v", spec, top)
+		}
+		if top.Graph.NumNodes() < 1 {
+			t.Fatalf("New(%q) built an empty graph", spec)
+		}
+		for _, e := range top.Graph.Edges() {
+			if !(e.Capacity > 0) || math.IsInf(e.Capacity, 0) {
+				t.Fatalf("New(%q): edge %d capacity %g", spec, e.ID, e.Capacity)
+			}
+		}
+		for _, ep := range top.Endpoints {
+			if ep < 0 || int(ep) >= top.Graph.NumNodes() {
+				t.Fatalf("New(%q): endpoint %d outside %d nodes", spec, ep, top.Graph.NumNodes())
+			}
+		}
+		if strings.TrimSpace(spec) != top.Spec {
+			t.Fatalf("New(%q) recorded spec %q", spec, top.Spec)
+		}
+	})
+}

@@ -200,6 +200,14 @@ func ParseSpec(spec string) (string, map[string]float64, error) {
 		if err != nil {
 			return "", nil, fmt.Errorf("topo: %s: parameter %s=%q is not a number", name, k, vs)
 		}
+		// NaN poisons every downstream comparison (NaN > 0, NaN ≤ 0,
+		// NaN != trunc(NaN) are all false in ways that dodge the
+		// guards), and ±Inf turns into nonsense capacities and seeds;
+		// the fuzzer found both slipping through, so reject them at
+		// the grammar.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", nil, fmt.Errorf("topo: %s: parameter %s=%q is not finite", name, k, vs)
+		}
 		p[k] = v
 	}
 	return name, p, nil
@@ -213,8 +221,16 @@ func New(spec string) (*Topology, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p["cap"] <= 0 {
-		return nil, fmt.Errorf("topo: %s: cap=%g must be positive", name, p["cap"])
+	// !(cap > 0) rather than cap <= 0: the former also rejects NaN
+	// when a caller bypasses ParseSpec's finiteness guard. The upper
+	// bound keeps hetero's ×√10 draw from overflowing to +Inf.
+	if !(p["cap"] > 0) || p["cap"] > 1e100 {
+		return nil, fmt.Errorf("topo: %s: cap=%g must be positive (and at most 1e100)", name, p["cap"])
+	}
+	// Keep seeds in the exactly representable integer range: float→
+	// int64 conversion of anything larger is implementation-defined.
+	if s := p["seed"]; math.Abs(s) > 1<<53 {
+		return nil, fmt.Errorf("topo: %s: seed=%g outside the exact integer range", name, s)
 	}
 	c := &buildCtx{
 		g:      graph.New(),

@@ -1,0 +1,103 @@
+package workload
+
+// Native Go fuzzing for Config validation: Generate must return an
+// error — never panic, never loop forever, never emit a poisoned
+// instance — for every configuration an API caller could hand it. A
+// successful generation must satisfy the generator's own contract:
+// the requested coflow count, finite positive weights and demands,
+// finite non-decreasing integer releases, and endpoints drawn from
+// the allowed set. Seed corpus under testdata/fuzz/FuzzGenerateConfig;
+// run with
+//
+//	go test -fuzz FuzzGenerateConfig ./internal/workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzGraph picks one of three fixed small networks so endpoint
+// validation sees in-range, out-of-range, and degenerate cases.
+func fuzzGraph(sel uint8) *graph.Graph {
+	switch sel % 3 {
+	case 0:
+		return graph.SWAN(1)
+	case 1:
+		return graph.GScale(2)
+	default:
+		g := graph.New()
+		a := g.AddNode("a")
+		b := g.AddNode("b")
+		g.AddLink(a, b, 1)
+		return g
+	}
+}
+
+func FuzzGenerateConfig(f *testing.F) {
+	f.Add(uint8(0), int16(10), int64(1), 1.5, 1.0, 100.0, true, int8(0), int8(1))
+	f.Add(uint8(1), int16(1), int64(-7), 0.0, 0.0, 0.0, false, int8(-1), int8(-1))
+	f.Add(uint8(2), int16(0), int64(0), -3.0, 5.0, 2.0, true, int8(0), int8(0))
+	f.Add(uint8(3), int16(4), int64(9), math.Inf(1), 1.0, 1.0, true, int8(0), int8(100))
+	f.Add(uint8(0), int16(4), int64(9), math.NaN(), math.NaN(), math.NaN(), false, int8(2), int8(3))
+	f.Add(uint8(5), int16(300), int64(3), 0.25, 50.0, 50.0, true, int8(4), int8(2))
+	f.Fuzz(func(t *testing.T, gsel uint8, coflows int16, seed int64,
+		inter, wmin, wmax float64, paths bool, epA, epB int8) {
+		g := fuzzGraph(gsel)
+		cfg := Config{
+			Kind:             Kind(int(gsel) % (len(Kinds) + 2)), // includes out-of-range kinds
+			Graph:            g,
+			NumCoflows:       int(coflows),
+			Seed:             seed,
+			MeanInterarrival: inter,
+			WeightMin:        wmin,
+			WeightMax:        wmax,
+			AssignPaths:      paths,
+		}
+		// Endpoint lists exercise empty (epA < 0), in-range, repeated,
+		// and out-of-range node ids.
+		if epA >= 0 {
+			cfg.Endpoints = []graph.NodeID{graph.NodeID(epA), graph.NodeID(epB), graph.NodeID(epA)}
+		}
+		in, err := Generate(cfg)
+		if err != nil {
+			return
+		}
+		if len(in.Coflows) != cfg.NumCoflows {
+			t.Fatalf("generated %d coflows, config asked %d", len(in.Coflows), cfg.NumCoflows)
+		}
+		allowed := map[graph.NodeID]bool{}
+		for _, ep := range cfg.Endpoints {
+			allowed[ep] = true
+		}
+		prev := 0.0
+		for j, c := range in.Coflows {
+			if !(c.Weight > 0) || math.IsInf(c.Weight, 0) {
+				t.Fatalf("coflow %d weight %g", j, c.Weight)
+			}
+			if math.IsNaN(c.Release) || math.IsInf(c.Release, 0) ||
+				c.Release < prev || c.Release != math.Trunc(c.Release) {
+				t.Fatalf("coflow %d release %g after %g is not a non-decreasing slot", j, c.Release, prev)
+			}
+			prev = c.Release
+			if len(c.Flows) == 0 {
+				t.Fatalf("coflow %d has no flows", j)
+			}
+			for i, fl := range c.Flows {
+				if !(fl.Demand > 0) || math.IsInf(fl.Demand, 0) {
+					t.Fatalf("coflow %d flow %d demand %g", j, i, fl.Demand)
+				}
+				if fl.Source == fl.Sink {
+					t.Fatalf("coflow %d flow %d is a self-loop at %d", j, i, fl.Source)
+				}
+				if len(cfg.Endpoints) > 0 && (!allowed[fl.Source] || !allowed[fl.Sink]) {
+					t.Fatalf("coflow %d flow %d endpoints %d→%d off the allowed set", j, i, fl.Source, fl.Sink)
+				}
+				if cfg.AssignPaths && len(fl.Path) == 0 {
+					t.Fatalf("coflow %d flow %d has no path despite AssignPaths", j, i)
+				}
+			}
+		}
+	})
+}

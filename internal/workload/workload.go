@@ -123,11 +123,21 @@ func Generate(cfg Config) (*coflow.Instance, error) {
 	if cfg.Graph.NumNodes() < 2 {
 		return nil, fmt.Errorf("workload: graph needs ≥ 2 nodes")
 	}
+	// The mean interarrival scales Poisson gaps; NaN or −x fail the
+	// "> 0" release check and degrade to all-at-zero, but +Inf would
+	// flow into the releases themselves, so non-finite values are
+	// rejected outright (found by FuzzGenerateConfig).
+	if math.IsNaN(cfg.MeanInterarrival) || math.IsInf(cfg.MeanInterarrival, 0) {
+		return nil, fmt.Errorf("workload: MeanInterarrival %g is not finite", cfg.MeanInterarrival)
+	}
 	wmin, wmax := cfg.WeightMin, cfg.WeightMax
 	if wmin == 0 && wmax == 0 {
 		wmin, wmax = 1.0, 100.0
 	}
-	if wmin <= 0 || wmax < wmin {
+	// Negated comparisons so NaN bounds fail validation instead of
+	// slipping NaN weights into every coflow (wmin <= 0 and
+	// wmax < wmin are both false for NaN); ±Inf is equally unusable.
+	if !(wmin > 0) || !(wmax >= wmin) || math.IsInf(wmin, 0) || math.IsInf(wmax, 0) {
 		return nil, fmt.Errorf("workload: bad weight range [%g, %g]", wmin, wmax)
 	}
 	eps := cfg.Endpoints
