@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/timegrid"
 	"repro/internal/topo"
 	"repro/internal/validate"
@@ -124,27 +125,32 @@ type SchedOptions struct {
 	DisableCompaction bool
 }
 
-func (o SchedOptions) normalize() SchedOptions {
-	if o.MaxSlots == 0 {
-		o.MaxSlots = 48
+// specOptions maps the legacy knobs onto Spec options; the engine
+// applies the same defaults normalize always did (48-slot cap, 20
+// trials, negative trials disable).
+func (o SchedOptions) specOptions() SpecOptions {
+	return SpecOptions{
+		MaxSlots:          o.MaxSlots,
+		Trials:            o.Trials,
+		Seed:              o.Seed,
+		Workers:           o.Workers,
+		DisableCompaction: o.DisableCompaction,
 	}
-	if o.Trials == 0 {
-		o.Trials = 20
-	}
-	if o.Trials < 0 {
-		o.Trials = 0
-	}
-	return o
 }
 
 // ScheduleSinglePath runs the full pipeline in the single path model:
 // every flow must carry a fixed Path (see
 // Instance.AssignRandomShortestPaths).
+//
+// Deprecated: build a Spec with Scheduler "stretch" and call Run; this
+// facade is a thin wrapper over it and cannot be cancelled.
 func ScheduleSinglePath(inst *Instance, opt SchedOptions) (*Result, error) {
 	return run(inst, coflow.SinglePath, opt)
 }
 
 // ScheduleFreePath runs the full pipeline in the free path model.
+//
+// Deprecated: build a Spec with Scheduler "stretch" and call Run.
 func ScheduleFreePath(inst *Instance, opt SchedOptions) (*Result, error) {
 	return run(inst, coflow.FreePath, opt)
 }
@@ -152,19 +158,28 @@ func ScheduleFreePath(inst *Instance, opt SchedOptions) (*Result, error) {
 // ScheduleMultiPath runs the full pipeline in the intermediate
 // multi path model: every flow must carry a candidate path set (see
 // Instance.AssignKShortestPaths).
+//
+// Deprecated: build a Spec with Scheduler "stretch" and call Run.
 func ScheduleMultiPath(inst *Instance, opt SchedOptions) (*Result, error) {
 	return run(inst, coflow.MultiPath, opt)
 }
 
+// run compiles the legacy facade call down to a Spec and executes it
+// through the unified front door. The "stretch" engine scheduler is
+// the same pipeline the facades always ran (LP + λ=1 heuristic + k
+// roundings over DefaultGrid), with one improvement: a horizon that
+// proves too short now doubles adaptively instead of failing.
 func run(inst *Instance, mode coflow.Model, opt SchedOptions) (*Result, error) {
-	opt = opt.normalize()
-	return core.Run(context.Background(), inst, mode, core.Options{
-		Grid:              core.DefaultGrid(inst, mode, opt.MaxSlots),
-		DisableCompaction: opt.DisableCompaction,
-		Trials:            opt.Trials,
-		Seed:              opt.Seed,
-		Workers:           opt.Workers,
+	rep, err := Run(context.Background(), Spec{
+		Instance:  inst,
+		Model:     spec.ModelName(mode),
+		Scheduler: "stretch",
+		Options:   opt.specOptions(),
 	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Engine.Core, nil
 }
 
 // Schedulers lists the names registered with the scheduler engine,
@@ -179,16 +194,20 @@ func Schedulers() []string { return engine.Names() }
 // it is checked before dispatch and between Stretch trials, but a
 // long-running LP solve or baseline simulation is not interrupted
 // mid-flight.
+//
+// Deprecated: build a Spec with the scheduler name and call Run; the
+// returned report's Engine field is this function's result.
 func ScheduleWith(ctx context.Context, name string, inst *Instance, mode TransmissionModel, opt SchedOptions) (*SchedulerResult, error) {
-	// engine.Schedule normalizes with the same defaults SchedOptions
-	// uses (48-slot cap, 20 trials, negative trials disable).
-	return engine.Schedule(ctx, name, inst, mode, engine.Options{
-		MaxSlots:          opt.MaxSlots,
-		Trials:            opt.Trials,
-		Seed:              opt.Seed,
-		Workers:           opt.Workers,
-		DisableCompaction: opt.DisableCompaction,
+	rep, err := Run(ctx, Spec{
+		Instance:  inst,
+		Model:     spec.ModelName(mode),
+		Scheduler: name,
+		Options:   opt.specOptions(),
 	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Engine, nil
 }
 
 // UniformGrid exposes grid construction for callers that size the time
@@ -205,8 +224,32 @@ func UniformGrid(slots int) timegrid.Grid { return timegrid.Uniform(slots) }
 // Simulate measures what a scheduler can do without knowing the
 // future. Results are in the same slot units as offline schedules, so
 // the two compare directly.
+//
+// Deprecated: build a Spec with the policy name and call Run; the
+// returned report's Sim field is this function's result.
 func Simulate(ctx context.Context, inst *Instance, opt SimOptions) (*SimResult, error) {
-	return sim.Simulate(ctx, inst, opt)
+	policy := opt.Policy
+	if policy == "" {
+		policy = sim.NameLAS // the simulator's historical default
+	}
+	rep, err := Run(ctx, Spec{
+		Instance: inst,
+		Policy:   policy,
+		Options: SpecOptions{
+			MaxSlots:    opt.MaxSlots,
+			Trials:      opt.Trials,
+			Seed:        opt.Seed,
+			Workers:     opt.Workers,
+			Epoch:       opt.Epoch,
+			Clairvoyant: opt.Clairvoyant,
+			CheckEvery:  opt.CheckEvery,
+			MaxEvents:   opt.MaxEvents,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Sim, nil
 }
 
 // SimPolicies lists the online policy names Simulate accepts:
@@ -252,7 +295,17 @@ func ValidateSim(inst *Instance, res *SimResult, opt SimOptions) error {
 // micro-benchmarks. The report serializes to BENCH_sim.json via its
 // WriteFile method; cmd/coflowsim's -bench flag drives this end to
 // end.
-func RunBenchmarks(cfg BenchConfig) (*BenchReport, error) { return bench.Run(cfg) }
+// Deprecated: RunBenchmarks cannot be cancelled; use
+// RunBenchmarksContext.
+func RunBenchmarks(cfg BenchConfig) (*BenchReport, error) {
+	return RunBenchmarksContext(context.Background(), cfg)
+}
+
+// RunBenchmarksContext is RunBenchmarks with cancellation: ctx is
+// checked between benchmark cells.
+func RunBenchmarksContext(ctx context.Context, cfg BenchConfig) (*BenchReport, error) {
+	return bench.Run(ctx, cfg)
+}
 
 // LoadBenchReport reads a previously written BENCH_sim.json.
 func LoadBenchReport(path string) (*BenchReport, error) { return bench.Load(path) }

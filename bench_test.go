@@ -23,12 +23,12 @@ import (
 	"repro/internal/workload"
 )
 
-func benchFigure(b *testing.B, fn func(experiments.Config) (*experiments.FigureResult, error)) {
+func benchFigure(b *testing.B, fn func(context.Context, experiments.Config) (*experiments.FigureResult, error)) {
 	b.Helper()
 	cfg := experiments.Small()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fn(cfg); err != nil {
+		if _, err := fn(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

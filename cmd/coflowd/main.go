@@ -1,0 +1,300 @@
+// Command coflowd serves the declarative Spec API over HTTP: the same
+// JSON documents cmd/coflowsim's -spec flag and the repro library's
+// Run/Sweep execute locally, answered by a long-lived scheduling
+// service. It is the first step toward the serving story: concurrent
+// requests share a bounded worker pool, and completed runs are cached
+// by their normalized spec (every run is deterministic in it, so a
+// cache hit is byte-identical to a recompute).
+//
+// Endpoints:
+//
+//	POST /v1/run      Spec JSON  → one RunReport JSON
+//	POST /v1/sweep    SweepSpec JSON → NDJSON, one cell per line as
+//	                  cells finish (chunked; consume as a stream)
+//	GET  /v1/registry → the catalog of scheduler/policy/topology/
+//	                  workload/model/preset names a Spec may use
+//	GET  /healthz     → 200 ok
+//
+// Usage:
+//
+//	coflowd -addr :8321 -workers 8 -cache 256
+//
+// Validation errors (unknown names, conflicting fields, JSON typos)
+// return 400 with the registry listing in the body; execution
+// failures return 500. Workload "file" specs are rejected: a network
+// client must not read the server's filesystem. Cancelled requests
+// stop the run between units of work.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/spec"
+
+	repro "repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8321", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing specs (the bounded worker pool)")
+		cacheN  = flag.Int("cache", 256, "max cached run reports, keyed by normalized spec (0 disables)")
+		cacheMB = flag.Int("cache-mb", 64, "max total megabytes of cached reports")
+	)
+	flag.Parse()
+	srv := newServer(*workers, *cacheN)
+	srv.cache.maxBytes = int64(*cacheMB) << 20
+	log.Printf("coflowd: listening on %s (workers=%d, cache=%d entries / %d MB)", *addr, *workers, *cacheN, *cacheMB)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.routes(),
+		// A zero-value Server never times out a connection; these keep
+		// a stalled or malicious client from pinning one forever. No
+		// overall write timeout: sweep responses legitimately stream
+		// for a long time.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+// maxBodyBytes bounds request documents; inline instances are the
+// only legitimately large payload and 64 MB of JSON is far past any
+// laptop-scale instance.
+const maxBodyBytes = 64 << 20
+
+// server is the coflowd request handler: a semaphore bounding
+// concurrently executing specs and a per-spec report cache.
+type server struct {
+	sem   chan struct{}
+	cache *reportCache
+}
+
+func newServer(workers, cacheEntries int) *server {
+	if workers < 1 {
+		workers = 1
+	}
+	return &server{
+		sem:   make(chan struct{}, workers),
+		cache: newReportCache(cacheEntries),
+	}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// acquire takes a worker slot, honoring request cancellation while
+// queued.
+func (s *server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *server) release() { <-s.sem }
+
+// httpError maps an execution error onto a status: spec validation
+// problems are the client's (400), everything else is ours (500).
+func httpError(w http.ResponseWriter, err error, validation bool) {
+	code := http.StatusInternalServerError
+	if validation {
+		code = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// decodeStrict decodes one size-capped JSON document, rejecting
+// unknown fields so a typo'd spec fails with 400 instead of running
+// the defaults.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// rejectFileWorkload refuses specs that name server-local files: the
+// service must not read its own filesystem on a client's behalf.
+func rejectFileWorkload(s *repro.Spec) error {
+	if s.Workload != nil && s.Workload.File != "" {
+		return fmt.Errorf("workload file %q: file-backed specs are not served; inline the instance instead", s.Workload.File)
+	}
+	return nil
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var sp repro.Spec
+	if err := decodeStrict(w, r, &sp); err != nil {
+		httpError(w, err, true)
+		return
+	}
+	if err := rejectFileWorkload(&sp); err != nil {
+		httpError(w, err, true)
+		return
+	}
+	// Normalize up front: the normalized form is the cache key, and a
+	// bad spec fails here with the registry listing before queueing.
+	key, err := sp.Key()
+	if err != nil {
+		httpError(w, err, true)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set("X-Coflowd-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		httpError(w, err, false)
+		return
+	}
+	rep, err := repro.Run(r.Context(), sp)
+	s.release()
+	if err != nil {
+		httpError(w, err, false)
+		return
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		httpError(w, err, false)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.put(key, body)
+	w.Header().Set("X-Coflowd-Cache", "miss")
+	w.Write(body)
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sw repro.SweepSpec
+	if err := decodeStrict(w, r, &sw); err != nil {
+		httpError(w, err, true)
+		return
+	}
+	if err := rejectFileWorkload(&sw.Base); err != nil {
+		httpError(w, err, true)
+		return
+	}
+	n, at, err := sw.Cells()
+	if err != nil {
+		httpError(w, err, true)
+		return
+	}
+	// Every cell takes a slot from the same server-wide pool /v1/run
+	// uses, so concurrent sweeps (and runs) queue for the -workers
+	// budget instead of multiplying it. The request's own fan-out is
+	// clamped to its share; excess width would only park goroutines on
+	// the semaphore.
+	limit := cap(s.sem)
+	if sw.Workers > 0 && sw.Workers < limit {
+		limit = sw.Workers
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Coflowd-Cells", fmt.Sprint(n))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, cell := range spec.StreamWith(r.Context(), n, limit, at, s.gatedRunCell) {
+		if err := enc.Encode(cell); err != nil {
+			return // client went away; the stream stops on the dead ctx
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// gatedRunCell executes one sweep cell while holding a server worker
+// slot. A cancelled request queued on the pool reports the context
+// error as its cell outcome.
+func (s *server) gatedRunCell(ctx context.Context, i int, cellSpec repro.Spec) *repro.SweepCell {
+	if err := s.acquire(ctx); err != nil {
+		return &repro.SweepCell{Index: i, Spec: cellSpec, Error: err.Error(), Err: err}
+	}
+	defer s.release()
+	return spec.RunCell(ctx, i, cellSpec)
+}
+
+func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(repro.Registries())
+}
+
+// reportCache is a bounded FIFO cache of marshalled RunReports keyed
+// by normalized spec, capped by entry count AND total bytes (reports
+// embed per-coflow completions, so a 100k-coflow report is megabytes
+// — an entry cap alone would let 256 of those pin the RSS of a
+// long-lived service). FIFO (not LRU) keeps eviction O(1) with one
+// lock and is enough for the repeat-heavy traffic a figure grid or a
+// dashboard produces; determinism makes hits byte-identical to
+// recomputes, so there is no staleness to manage.
+type reportCache struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	order    []string
+	m        map[string][]byte
+}
+
+func newReportCache(max int) *reportCache {
+	return &reportCache{max: max, maxBytes: 64 << 20, m: make(map[string][]byte)}
+}
+
+func (c *reportCache) get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[key]
+	return b, ok
+}
+
+func (c *reportCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	size := int64(len(key) + len(body))
+	if size > c.maxBytes/4 {
+		return // one giant report must not flush the whole cache
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.m[key]; dup {
+		return
+	}
+	for len(c.m) > 0 && (len(c.m) >= c.max || c.bytes+size > c.maxBytes) {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		c.bytes -= int64(len(oldest) + len(c.m[oldest]))
+		delete(c.m, oldest)
+	}
+	c.m[key] = body
+	c.order = append(c.order, key)
+	c.bytes += size
+}

@@ -4,6 +4,8 @@
 //
 // Usage:
 //
+//	coflowsim -spec spec.json            # run a declarative Spec (or SweepSpec, streamed as NDJSON)
+//	coflowsim -spec preset:figure-t1     # run a named sweep preset
 //	coflowsim -figure 9                  # regenerate Figure 9 (text table)
 //	coflowsim -figure all -csv out/      # all figures (incl. O1, T1), CSV per figure
 //	coflowsim -figure o1                 # online load sweep (internal/sim)
@@ -21,6 +23,15 @@
 //	coflowsim -online -topo leaf-spine:leaves=4,spines=2,hosts=2 -validate
 //	coflowsim -bench                     # benchmark-regression harness → BENCH_sim.json
 //	coflowsim -bench -bench-tier 100k -bench-tol 0.25 -v
+//
+// Every branch compiles its flags down to the declarative Spec of
+// internal/spec and executes through the unified Run/Sweep front door
+// — the same engine behind the repro library API and the coflowd
+// HTTP service — so the three entry points cannot drift. -spec takes
+// the Spec JSON directly: a Run document prints one RunReport, a
+// SweepSpec document streams one NDJSON cell per line as cells
+// finish. Interrupts (SIGINT/SIGTERM) cancel cleanly between units
+// of work.
 //
 // Scale flags (-coflows, -free-coflows, -slots, -trials, -seed,
 // -workers) apply to figure regeneration; defaults are laptop-sized
@@ -51,21 +62,23 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/baselines"
 	"repro/internal/coflow"
-	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/topo"
 	"repro/internal/validate"
 	"repro/internal/workload"
@@ -75,14 +88,15 @@ import (
 
 func main() {
 	var (
-		figure      = flag.String("figure", "", "figure to regenerate: 6..12, o1, or 'all'")
+		specFile    = flag.String("spec", "", "run a Spec/SweepSpec JSON file (or preset:<name>)")
+		figure      = flag.String("figure", "", "figure to regenerate: 6..12, o1, t1, or 'all'")
 		csvDir      = flag.String("csv", "", "directory to write CSV outputs (with -figure)")
 		coflows     = flag.Int("coflows", 0, "single path coflow count (0 = default)")
 		freeCoflows = flag.Int("free-coflows", 0, "free path coflow count (0 = default)")
 		slots       = flag.Int("slots", 0, "uniform grid slot cap (0 = default)")
 		trials      = flag.Int("trials", 0, "λ samples per instance (0 = default 20)")
 		seed        = flag.Int64("seed", 0, "base random seed (0 = default)")
-		workers     = flag.Int("workers", 0, "worker pool size for trials and figure cells (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "worker pool size for trials and figure/sweep cells (0 = GOMAXPROCS)")
 		small       = flag.Bool("small", false, "use the quick test-scale configuration")
 		verbose     = flag.Bool("v", false, "log progress")
 
@@ -113,6 +127,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupts cancel the run between units of work (figure cells,
+	// sweep cells, Stretch trials, benchmark cells).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// -topo overrides -topology everywhere a workload is generated.
 	topoSpec := *topology
 	if *topoF != "" {
@@ -124,8 +143,12 @@ func main() {
 		for _, name := range topo.Families() {
 			fmt.Println(name)
 		}
+	case *specFile != "":
+		if err := runSpec(ctx, *specFile, *workers); err != nil {
+			fatal(err)
+		}
 	case *benchF:
-		if err := runBench(*benchTier, *benchOut, *benchBaseline, *benchTol, *seed, *verbose); err != nil {
+		if err := runBench(ctx, *benchTier, *benchOut, *benchBaseline, *benchTol, *seed, *verbose); err != nil {
 			fatal(err)
 		}
 	case *online:
@@ -136,7 +159,7 @@ func main() {
 		if modelSet && strings.ToLower(*modelFlag) != "single" {
 			fatal(fmt.Errorf("-online simulates the single path model; -model %s is not supported", *modelFlag))
 		}
-		err := runOnline(onlineArgs{
+		err := runOnline(ctx, onlineArgs{
 			spec: *policy, runFile: *runFile, kind: *workloadF, topology: topoSpec,
 			coflows: *coflows, epoch: *epoch, load: *load,
 			slots: *slots, trials: *trials, seed: *seed, workers: *workers,
@@ -146,7 +169,7 @@ func main() {
 			fatal(err)
 		}
 	case *scheduler != "":
-		err := runSchedulers(schedulerArgs{
+		err := runSchedulers(ctx, schedulerArgs{
 			spec: *scheduler, runFile: *runFile, modelStr: *modelFlag,
 			genKind: *gen, topology: topoSpec, coflows: *coflows,
 			slots: *slots, trials: *trials, seed: *seed, workers: *workers,
@@ -181,7 +204,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			}
 		}
-		if err := runFigures(*figure, cfg, *csvDir); err != nil {
+		if err := runFigures(ctx, *figure, cfg, *csvDir); err != nil {
 			fatal(err)
 		}
 	case *gen != "":
@@ -203,12 +226,75 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// runSpec executes a declarative Spec or SweepSpec JSON document (or
+// a "preset:<name>" sweep). A single Spec prints one indented
+// RunReport; a sweep streams one compact NDJSON cell per line as
+// cells finish, so a 100k-cell grid can be piped without buffering.
+// The report JSON is identical to what coflowd's POST /v1/run returns
+// for the same document.
+func runSpec(ctx context.Context, arg string, workers int) error {
+	var single *repro.Spec
+	var sweep *repro.SweepSpec
+	if name, ok := strings.CutPrefix(arg, "preset:"); ok {
+		sw, err := repro.SweepPreset(name)
+		if err != nil {
+			return err
+		}
+		sweep = &sw
+	} else {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return err
+		}
+		if single, sweep, err = repro.ParseSpec(data); err != nil {
+			return err
+		}
+	}
+	if single != nil {
+		if workers != 0 && single.Options.Workers == 0 {
+			single.Options.Workers = workers
+		}
+		rep, err := repro.Run(ctx, *single)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if workers != 0 && sweep.Workers == 0 {
+		sweep.Workers = workers
+	}
+	n, cells, err := repro.Sweep(ctx, *sweep)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells\n", n)
+	enc := json.NewEncoder(os.Stdout)
+	failed := 0
+	for _, cell := range cells {
+		if cell.Err != nil {
+			failed++
+		}
+		if err := enc.Encode(cell); err != nil {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("sweep: %d of %d cells failed", failed, n)
+	}
+	return nil
+}
+
 // runBench drives the benchmark-regression harness: load the baseline
 // (the explicit -bench-baseline, else whatever -bench-out held from a
 // previous run; a missing file just means no comparison), run the
 // suite at the requested tier, write the fresh report, and fail with a
 // non-zero exit when any stable metric regressed beyond the tolerance.
-func runBench(tier, out, baseline string, tol float64, seed int64, verbose bool) error {
+func runBench(ctx context.Context, tier, out, baseline string, tol float64, seed int64, verbose bool) error {
 	if baseline == "" {
 		baseline = out
 	}
@@ -227,7 +313,7 @@ func runBench(tier, out, baseline string, tol float64, seed int64, verbose bool)
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	rep, err := repro.RunBenchmarks(cfg)
+	rep, err := repro.RunBenchmarksContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -274,14 +360,14 @@ func runBench(tier, out, baseline string, tol float64, seed int64, verbose bool)
 	return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", len(regs), tol*100)
 }
 
-func runFigures(spec string, cfg experiments.Config, csvDir string) error {
+func runFigures(ctx context.Context, figSpec string, cfg experiments.Config, csvDir string) error {
 	type figure struct {
 		name string
-		fn   func(experiments.Config) (*experiments.FigureResult, error)
+		fn   func(context.Context, experiments.Config) (*experiments.FigureResult, error)
 	}
 	var figs []figure
 	switch {
-	case spec == "all":
+	case figSpec == "all":
 		var nums []int
 		for n := range experiments.Figures {
 			nums = append(nums, n)
@@ -291,19 +377,19 @@ func runFigures(spec string, cfg experiments.Config, csvDir string) error {
 			figs = append(figs, figure{strconv.Itoa(n), experiments.Figures[n]})
 		}
 		figs = append(figs, figure{"O1", experiments.FigureO1}, figure{"T1", experiments.FigureT1})
-	case strings.EqualFold(spec, "o1"):
+	case strings.EqualFold(figSpec, "o1"):
 		figs = []figure{{"O1", experiments.FigureO1}}
-	case strings.EqualFold(spec, "t1"):
+	case strings.EqualFold(figSpec, "t1"):
 		figs = []figure{{"T1", experiments.FigureT1}}
 	default:
-		n, err := strconv.Atoi(spec)
+		n, err := strconv.Atoi(figSpec)
 		if err != nil || experiments.Figures[n] == nil {
-			return fmt.Errorf("unknown figure %q (have 6..12, o1, t1)", spec)
+			return fmt.Errorf("unknown figure %q (have 6..12, o1, t1)", figSpec)
 		}
-		figs = []figure{{spec, experiments.Figures[n]}}
+		figs = []figure{{figSpec, experiments.Figures[n]}}
 	}
 	for _, fig := range figs {
-		res, err := fig.fn(cfg)
+		res, err := fig.fn(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", fig.name, err)
 		}
@@ -332,57 +418,12 @@ func runFigures(spec string, cfg experiments.Config, csvDir string) error {
 	return nil
 }
 
-func parseKind(s string) (workload.Kind, error) {
-	switch strings.ToLower(s) {
-	case "bigbench":
-		return workload.BigBench, nil
-	case "tpcds", "tpc-ds":
-		return workload.TPCDS, nil
-	case "tpch", "tpc-h":
-		return workload.TPCH, nil
-	case "fb", "facebook":
-		return workload.FB, nil
-	default:
-		return 0, fmt.Errorf("unknown workload %q", s)
-	}
-}
-
-// parseTopology resolves a topology selector: the two hand-coded WANs
-// by name, or any generator spec from internal/topo ("fat-tree:k=4",
-// …). The returned Topology carries the endpoint set workload flows
-// are restricted to. Topologies with fewer than two endpoints are
-// rejected here — generating a workload on them would have no valid
-// source/sink pair.
-func parseTopology(s string) (*topo.Topology, error) {
-	var top *topo.Topology
-	switch strings.ToLower(s) {
-	case "swan":
-		top = &topo.Topology{Spec: "swan", Family: "swan", Graph: graph.SWAN(1)}
-	case "gscale", "g-scale":
-		top = &topo.Topology{Spec: "gscale", Family: "gscale", Graph: graph.GScale(1)}
-	default:
-		t, err := topo.New(s)
-		if err != nil {
-			return nil, err
-		}
-		top = t
-	}
-	n := len(top.Endpoints)
-	if n == 0 {
-		n = top.Graph.NumNodes()
-	}
-	if n < 2 {
-		return nil, fmt.Errorf("topology %q exposes %d workload endpoint(s); flows need at least 2 (source ≠ sink) — pick a larger topology", s, n)
-	}
-	return top, nil
-}
-
 func generate(kindStr, topoStr string, coflows int, seed int64, paths bool, out string) error {
-	kind, err := parseKind(kindStr)
+	kind, err := spec.ParseKind(kindStr)
 	if err != nil {
 		return err
 	}
-	top, err := parseTopology(topoStr)
+	top, err := spec.ParseTopology(topoStr)
 	if err != nil {
 		return err
 	}
@@ -408,28 +449,6 @@ func generate(kindStr, topoStr string, coflows int, seed int64, paths bool, out 
 	return in.WriteJSON(w)
 }
 
-func parseModel(s string) (coflow.Model, error) {
-	switch strings.ToLower(s) {
-	case "single":
-		return coflow.SinglePath, nil
-	case "free":
-		return coflow.FreePath, nil
-	case "multi":
-		return coflow.MultiPath, nil
-	default:
-		return 0, fmt.Errorf("unknown model %q (single|free|multi)", s)
-	}
-}
-
-func loadInstance(path string) (*coflow.Instance, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return coflow.ReadJSON(f)
-}
-
 // schedulerArgs bundles the flag values the -scheduler branch needs.
 type schedulerArgs struct {
 	spec, runFile, modelStr, genKind, topology string
@@ -438,134 +457,94 @@ type schedulerArgs struct {
 	validate                                   bool
 }
 
-// runSchedulers runs one or more engine schedulers on an instance:
-// the -run file when given, otherwise a freshly generated workload.
-func runSchedulers(a schedulerArgs) error {
+// compile translates the generation-related flags into the Spec
+// fields shared by the -scheduler and -online branches: the -run file
+// when given, otherwise a generated workload (kind defaults to fb,
+// coflow count to 8) with Poisson releases at the given mean
+// interarrival, restricted to the topology's endpoints.
+func compileWorkload(runFile, kindStr, topoStr string, coflows int, seed int64, interarrival float64) (string, *repro.SpecWorkload) {
+	if runFile != "" {
+		return "", &repro.SpecWorkload{File: runFile}
+	}
+	if kindStr == "" {
+		kindStr = "fb"
+	}
+	if coflows <= 0 {
+		coflows = 8
+	}
+	return topoStr, &repro.SpecWorkload{
+		Kind:             strings.ToLower(kindStr),
+		Coflows:          coflows,
+		Seed:             seed,
+		MeanInterarrival: interarrival,
+	}
+}
+
+// runSchedulers compiles the -scheduler flags down to one Spec per
+// requested engine scheduler and executes them through the unified
+// Run front door, tabulating the reports.
+func runSchedulers(ctx context.Context, a schedulerArgs) error {
 	if a.spec == "list" {
-		for _, name := range engine.Names() {
+		for _, name := range spec.SchedulerNames() {
 			fmt.Println(name)
 		}
 		return nil
 	}
-	mode, err := parseModel(a.modelStr)
+	mode, err := spec.ParseModel(a.modelStr)
 	if err != nil {
 		return err
 	}
 	// Validate every requested name up front, so a typo fails with the
 	// registry listing before any instance is generated or scheduled.
-	names, err := resolveSchedulers(a.spec, mode)
+	names, err := spec.ResolveSchedulers(a.spec, mode)
 	if err != nil {
 		return err
 	}
-	in, err := buildInstance(a.runFile, a.genKind, a.topology, a.coflows, a.seed,
-		1.5, mode == coflow.SinglePath)
+	topology, wl := compileWorkload(a.runFile, a.genKind, a.topology, a.coflows, a.seed, 1.5)
+	// Materialize the instance once and share it across schedulers —
+	// the table compares algorithms on the same problem, and a -run
+	// file is read a single time.
+	in, err := repro.Spec{
+		Topology: topology, Workload: wl, Model: a.modelStr, Scheduler: names[0],
+	}.Materialize()
 	if err != nil {
 		return err
 	}
-	if a.runFile == "" && mode == coflow.MultiPath {
-		if err := in.AssignKShortestPaths(3); err != nil {
+	reports := make([]*repro.RunReport, 0, len(names))
+	for _, name := range names {
+		rep, err := repro.Run(ctx, repro.Spec{
+			Instance:  in,
+			Model:     a.modelStr,
+			Scheduler: name,
+			Options: repro.SpecOptions{
+				MaxSlots: a.slots, Trials: a.trials, Seed: a.seed, Workers: a.workers,
+			},
+			Validate: a.validate,
+		})
+		if err != nil {
 			return err
 		}
+		reports = append(reports, rep)
 	}
-	opt := repro.SchedOptions{MaxSlots: a.slots, Trials: a.trials, Seed: a.seed, Workers: a.workers}
-	fmt.Printf("model: %v, coflows: %d (%d flows)\n\n", mode, len(in.Coflows), in.NumFlows())
+	fmt.Printf("model: %v, coflows: %d (%d flows)\n\n", mode, reports[0].Coflows, reports[0].Flows)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	header := "scheduler\tweighted ΣwC\ttotal ΣC\tLP bound"
 	if a.validate {
 		header += "\tvalidate"
 	}
 	fmt.Fprintln(tw, header)
-	for _, name := range names {
-		res, err := repro.ScheduleWith(context.Background(), name, in, mode, opt)
-		if err != nil {
-			return err
-		}
+	for _, rep := range reports {
 		bound := "-"
-		if res.HasLowerBound {
-			bound = fmt.Sprintf("%.3f", res.LowerBound)
+		if rep.HasLowerBound {
+			bound = fmt.Sprintf("%.3f", rep.LowerBound)
 		}
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%s", res.Scheduler, res.Weighted, res.Total, bound)
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%s", rep.Scheduler, rep.Weighted, rep.Total, bound)
 		if a.validate {
-			if err := validate.Result(in, res).Err(); err != nil {
-				tw.Flush()
-				return fmt.Errorf("scheduler %s failed validation: %w", name, err)
-			}
 			fmt.Fprint(tw, "\tok")
 		}
 		fmt.Fprintln(tw)
 	}
 	return tw.Flush()
-}
-
-// resolveSchedulers expands a -scheduler spec ("all" or a
-// comma-separated list) into validated engine registry names. Unknown
-// names fail immediately with the full registry listing (via
-// engine.Get), and explicitly requested schedulers that don't support
-// the model are rejected rather than silently skipped.
-func resolveSchedulers(spec string, mode coflow.Model) ([]string, error) {
-	var names []string
-	if spec == "all" {
-		return engine.NamesSupporting(mode), nil
-	}
-	for _, name := range strings.Split(spec, ",") {
-		name = strings.TrimSpace(name)
-		s, err := engine.Get(name)
-		if err != nil {
-			return nil, err
-		}
-		if !s.Supports(mode) {
-			return nil, fmt.Errorf("scheduler %q does not support the %v model", name, mode)
-		}
-		names = append(names, name)
-	}
-	return names, nil
-}
-
-// resolvePolicies expands a -policy spec into validated sim policy
-// names; unknown names fail with the policy registry listing.
-func resolvePolicies(spec string, opt sim.Options) ([]string, error) {
-	if spec == "" || spec == "all" {
-		return sim.Names(), nil
-	}
-	var names []string
-	for _, name := range strings.Split(spec, ",") {
-		name = strings.TrimSpace(name)
-		if _, err := sim.New(name, opt); err != nil {
-			return nil, err
-		}
-		names = append(names, name)
-	}
-	return names, nil
-}
-
-// buildInstance is the shared instance source of the -scheduler and
-// -online branches: the runFile when given, otherwise a freshly
-// generated workload (kind defaults to fb, coflow count to 8) with
-// Poisson releases at the given mean interarrival, with flows
-// restricted to the topology's endpoints.
-func buildInstance(runFile, kindStr, topoStr string, coflows int, seed int64, interarrival float64, assignPaths bool) (*coflow.Instance, error) {
-	if runFile != "" {
-		return loadInstance(runFile)
-	}
-	if kindStr == "" {
-		kindStr = "fb"
-	}
-	kind, err := parseKind(kindStr)
-	if err != nil {
-		return nil, err
-	}
-	top, err := parseTopology(topoStr)
-	if err != nil {
-		return nil, err
-	}
-	if coflows <= 0 {
-		coflows = 8
-	}
-	return workload.Generate(workload.Config{
-		Kind: kind, Graph: top.Graph, NumCoflows: coflows, Seed: seed,
-		MeanInterarrival: interarrival, AssignPaths: assignPaths,
-		Endpoints: top.Endpoints,
-	})
 }
 
 // onlineArgs bundles the flag values the -online branch needs.
@@ -580,19 +559,17 @@ type onlineArgs struct {
 // runOnline drives the discrete-event simulator: it compares every
 // requested policy on one instance (the -run file when given,
 // otherwise a Poisson-release workload at the -load arrival rate)
-// against the clairvoyant offline Stretch pipeline.
-func runOnline(a onlineArgs) error {
+// against the clairvoyant offline Stretch pipeline. The flags compile
+// to a Spec whose Materialize builds the shared instance, so the
+// -online branch cannot drift from what -spec runs.
+func runOnline(ctx context.Context, a onlineArgs) error {
 	if a.spec == "list" {
 		for _, name := range sim.Names() {
 			fmt.Println(name)
 		}
 		return nil
 	}
-	simOpt := sim.Options{
-		Epoch: a.epoch, MaxSlots: a.slots, Trials: a.trials,
-		Seed: a.seed, Workers: a.workers,
-	}
-	names, err := resolvePolicies(a.spec, simOpt)
+	names, err := spec.ResolvePolicies(a.spec)
 	if err != nil {
 		return err
 	}
@@ -600,9 +577,14 @@ func runOnline(a onlineArgs) error {
 	if a.load > 0 {
 		interarrival = 1 / a.load
 	}
-	in, err := buildInstance(a.runFile, a.kind, a.topology, a.coflows, a.seed, interarrival, true)
+	topology, wl := compileWorkload(a.runFile, a.kind, a.topology, a.coflows, a.seed, interarrival)
+	in, err := repro.Spec{Topology: topology, Workload: wl, Policy: names[0]}.Materialize()
 	if err != nil {
 		return err
+	}
+	simOpt := sim.Options{
+		Epoch: a.epoch, MaxSlots: a.slots, Trials: a.trials,
+		Seed: a.seed, Workers: a.workers,
 	}
 	var check func(policy string, clairvoyant bool, r *sim.Result) error
 	if a.validate {
@@ -613,7 +595,7 @@ func runOnline(a onlineArgs) error {
 			return nil
 		}
 	}
-	res, err := experiments.OnlineComparison(context.Background(), in, names, simOpt, "stretch", check)
+	res, err := experiments.OnlineComparison(ctx, in, names, simOpt, "stretch", check)
 	if err != nil {
 		return err
 	}
@@ -623,12 +605,21 @@ func runOnline(a onlineArgs) error {
 	return res.Render(os.Stdout)
 }
 
+func loadInstance(path string) (*coflow.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return coflow.ReadJSON(f)
+}
+
 func runInstance(path, modelStr string, trials int, seed int64, slots, workers int, withTerra, validateF bool) error {
 	in, err := loadInstance(path)
 	if err != nil {
 		return err
 	}
-	mode, err := parseModel(modelStr)
+	mode, err := spec.ParseModel(modelStr)
 	if err != nil {
 		return err
 	}

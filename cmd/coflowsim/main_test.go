@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,11 +9,17 @@ import (
 
 	"repro/internal/coflow"
 	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/internal/spec"
+
+	repro "repro"
 )
 
+// The resolver logic the CLI used to own lives in internal/spec now;
+// these tests pin the CLI-visible behavior through the shared
+// functions so a regression in either layer still fails here.
+
 func TestResolveSchedulersUnknownListsRegistry(t *testing.T) {
-	_, err := resolveSchedulers("bogus", coflow.SinglePath)
+	_, err := spec.ResolveSchedulers("bogus", coflow.SinglePath)
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -24,17 +31,17 @@ func TestResolveSchedulersUnknownListsRegistry(t *testing.T) {
 }
 
 func TestResolveSchedulersRejectsUnsupportedModel(t *testing.T) {
-	if _, err := resolveSchedulers("terra", coflow.SinglePath); err == nil {
+	if _, err := spec.ResolveSchedulers("terra", coflow.SinglePath); err == nil {
 		t.Fatal("terra is free-path only; expected error")
 	}
-	names, err := resolveSchedulers(" stretch , heuristic ", coflow.FreePath)
+	names, err := spec.ResolveSchedulers(" stretch , heuristic ", coflow.FreePath)
 	if err != nil || len(names) != 2 || names[0] != "stretch" {
 		t.Fatalf("names = %v, err = %v", names, err)
 	}
 }
 
 func TestResolvePoliciesUnknownListsRegistry(t *testing.T) {
-	_, err := resolvePolicies("nope", sim.Options{})
+	_, err := spec.ResolvePolicies("nope")
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -43,14 +50,14 @@ func TestResolvePoliciesUnknownListsRegistry(t *testing.T) {
 			t.Fatalf("error %q does not list %q", err, want)
 		}
 	}
-	all, err := resolvePolicies("all", sim.Options{})
+	all, err := spec.ResolvePolicies("all")
 	if err != nil || len(all) == 0 {
 		t.Fatalf("all = %v, err = %v", all, err)
 	}
 }
 
 func TestParseTopologyAcceptsSpecs(t *testing.T) {
-	top, err := parseTopology("fat-tree:k=4")
+	top, err := spec.ParseTopology("fat-tree:k=4")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +65,7 @@ func TestParseTopologyAcceptsSpecs(t *testing.T) {
 		t.Fatalf("fat-tree:k=4: %d nodes / %d endpoints", top.Graph.NumNodes(), len(top.Endpoints))
 	}
 	for _, name := range []string{"swan", "SWAN", "gscale", "g-scale"} {
-		top, err := parseTopology(name)
+		top, err := spec.ParseTopology(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -66,7 +73,7 @@ func TestParseTopologyAcceptsSpecs(t *testing.T) {
 			t.Fatalf("%s: %d nodes", name, top.Graph.NumNodes())
 		}
 	}
-	if _, err := parseTopology("torus:n=4"); err == nil || !strings.Contains(err.Error(), "fat-tree") {
+	if _, err := spec.ParseTopology("torus:n=4"); err == nil || !strings.Contains(err.Error(), "fat-tree") {
 		t.Fatalf("unknown topology error should list families, got %v", err)
 	}
 }
@@ -74,7 +81,7 @@ func TestParseTopologyAcceptsSpecs(t *testing.T) {
 // TestTopologyEndpointGuard: a topology without two usable endpoints
 // must be rejected with a clear error before any workload generation.
 func TestTopologyEndpointGuard(t *testing.T) {
-	_, err := parseTopology("big-switch:n=1")
+	_, err := spec.ParseTopology("big-switch:n=1")
 	if err == nil {
 		t.Fatal("big-switch:n=1 accepted")
 	}
@@ -83,8 +90,9 @@ func TestTopologyEndpointGuard(t *testing.T) {
 			t.Fatalf("error %q does not mention %q", err, want)
 		}
 	}
-	if _, err := buildInstance("", "fb", "big-switch:n=1", 4, 1, 1, true); err == nil {
-		t.Fatal("buildInstance accepted a 1-endpoint topology")
+	topology, wl := compileWorkload("", "fb", "big-switch:n=1", 4, 1, 1)
+	if _, err := (repro.Spec{Topology: topology, Workload: wl, Policy: "fifo"}).Materialize(); err == nil {
+		t.Fatal("Materialize accepted a 1-endpoint topology")
 	}
 }
 
@@ -92,8 +100,9 @@ func TestTopologyEndpointGuard(t *testing.T) {
 // a full suite run: an unknown tier and an unreadable baseline file
 // both fail before any benchmark executes.
 func TestRunBenchFailsFast(t *testing.T) {
+	ctx := context.Background()
 	out := filepath.Join(t.TempDir(), "BENCH_sim.json")
-	if err := runBench("9000k", out, "", 0.25, 0, false); err == nil ||
+	if err := runBench(ctx, "9000k", out, "", 0.25, 0, false); err == nil ||
 		!strings.Contains(err.Error(), "tier") {
 		t.Fatalf("want tier error, got %v", err)
 	}
@@ -101,20 +110,21 @@ func TestRunBenchFailsFast(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runBench("1k", out, bad, 0.25, 0, false); err == nil ||
+	if err := runBench(ctx, "1k", out, bad, 0.25, 0, false); err == nil ||
 		!strings.Contains(err.Error(), "baseline") {
 		t.Fatalf("want baseline error, got %v", err)
 	}
 }
 
-// TestBuildInstanceOnGeneratedTopology pins that generated instances
-// keep flows on the topology's endpoint set.
-func TestBuildInstanceOnGeneratedTopology(t *testing.T) {
-	in, err := buildInstance("", "fb", "leaf-spine:leaves=3,spines=2,hosts=2", 5, 2, 1, true)
+// TestCompiledWorkloadOnGeneratedTopology pins that the compiled Spec
+// keeps flows on the topology's endpoint set.
+func TestCompiledWorkloadOnGeneratedTopology(t *testing.T) {
+	topology, wl := compileWorkload("", "fb", "leaf-spine:leaves=3,spines=2,hosts=2", 5, 2, 1)
+	in, err := repro.Spec{Topology: topology, Workload: wl, Policy: "fifo"}.Materialize()
 	if err != nil {
 		t.Fatal(err)
 	}
-	top, err := parseTopology("leaf-spine:leaves=3,spines=2,hosts=2")
+	top, err := spec.ParseTopology("leaf-spine:leaves=3,spines=2,hosts=2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,5 +138,34 @@ func TestBuildInstanceOnGeneratedTopology(t *testing.T) {
 				t.Fatalf("flow %v→%v uses a non-endpoint node", f.Source, f.Sink)
 			}
 		}
+	}
+}
+
+// TestRunSpecFileEndToEnd drives -spec on a real file: a Spec prints
+// one report, a SweepSpec streams cells, and both round-trip through
+// the public ParseSpec.
+func TestRunSpecFileEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	runPath := filepath.Join(dir, "run.json")
+	specJSON := `{"topology":"line:n=4","workload":{"kind":"fb","coflows":3,"seed":7},"scheduler":"sincronia-greedy","validate":true}`
+	if err := os.WriteFile(runPath, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpec(context.Background(), runPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	sweepPath := filepath.Join(dir, "sweep.json")
+	sweepJSON := `{"base":{"topology":"line:n=4","workload":{"coflows":2}},"policies":["fifo","las"],"seeds":[1,2]}`
+	if err := os.WriteFile(sweepPath, []byte(sweepJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpec(context.Background(), sweepPath, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpec(context.Background(), filepath.Join(dir, "missing.json"), 0); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	if err := runSpec(context.Background(), "preset:nope", 0); err == nil || !strings.Contains(err.Error(), "figure9") {
+		t.Fatalf("unknown preset error should list presets, got %v", err)
 	}
 }

@@ -8,18 +8,34 @@
 // G-Scale WAN topologies, synthetic BigBench/TPC-DS/TPC-H/Facebook
 // workloads, and the Jahanjou et al. and Terra baselines.
 //
+// The front door is declarative: a Spec names the topology, workload,
+// transmission model, and algorithm — an offline engine scheduler or
+// an online sim policy — and Run(ctx, Spec) executes it into one
+// unified RunReport. SweepSpec crosses Spec axes (schedulers ×
+// policies × topologies × workloads × loads × seeds) and Sweep
+// streams the cells as they finish, lazily expanded so arbitrarily
+// large grids run in O(workers) memory. Specs round-trip through
+// JSON; the same document drives this API, cmd/coflowsim -spec, and
+// the cmd/coflowd HTTP service to the identical report.
+//
 // Every algorithm — the Stretch pipeline, the λ=1 heuristic, and the
 // baselines (including a Sincronia-style bottleneck greedy) — is
-// registered with the scheduler engine (internal/engine) and reachable
-// by name through ScheduleWith; Schedulers lists the registry. Stretch
-// roundings run on a worker pool with per-trial RNGs derived from the
-// seed, so results are reproducible at any SchedOptions.Workers.
+// registered with the scheduler engine (internal/engine) and runs by
+// name; Schedulers lists the registry. Stretch roundings run on a
+// worker pool with per-trial RNGs derived from the seed, so results
+// are reproducible at any worker count.
 //
-// Simulate runs the online counterpart (internal/sim): a
-// discrete-event simulator that reveals coflows at their release times
-// and re-plans with a named policy — non-clairvoyant baselines, online
-// Sincronia, or an epoch adapter around any engine scheduler
-// (SimPolicies lists them).
+// Online runs use internal/sim: a discrete-event simulator that
+// reveals coflows at their release times and re-plans with a named
+// policy — non-clairvoyant baselines, online Sincronia, or an epoch
+// adapter around any engine scheduler (SimPolicies lists them).
+//
+// The pre-Spec facades (ScheduleSinglePath/FreePath/MultiPath,
+// ScheduleWith, Simulate, RunBenchmarks) remain as deprecated thin
+// wrappers over Run — bit-identical on every instance the legacy
+// paths could solve (equivalence-tested), with one deliberate change:
+// a time horizon that previously failed the LP outright now retries
+// adaptively up to 4× MaxSlots instead of erroring.
 //
 // NewTopology generates datacenter-style and adversarial networks from
 // spec strings like "fat-tree:k=4" (internal/topo; Topologies lists
@@ -32,9 +48,10 @@
 // README.md for the architecture and cmd/coflowsim for the experiment
 // driver that regenerates every figure of the paper.
 //
-//	inst, _ := repro.GenerateWorkload(repro.WorkloadConfig{
-//	    Kind: repro.FB, Graph: repro.NewSWAN(1), NumCoflows: 10, Seed: 1,
+//	rep, _ := repro.Run(ctx, repro.Spec{
+//	    Topology:  "fat-tree:k=4",
+//	    Workload:  &repro.SpecWorkload{Kind: "fb", Coflows: 10, Seed: 1},
+//	    Scheduler: "stretch",
 //	})
-//	res, _ := repro.ScheduleFreePath(inst, repro.SchedOptions{})
-//	fmt.Println(res.LowerBound, res.Heuristic.Weighted)
+//	fmt.Println(rep.LowerBound, rep.Weighted)
 package repro

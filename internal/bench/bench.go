@@ -158,8 +158,11 @@ var simSuite = []simCase{
 	{policy: "sincronia-online", spec: "swan", inter: 1.0, maxSize: 10000},
 }
 
-// Run executes the suite for cfg and returns the report.
-func Run(cfg Config) (*Report, error) {
+// Run executes the suite for cfg and returns the report. ctx cancels
+// between benchmark cells (a single testing.Benchmark invocation is
+// not interrupted mid-measurement, so cancellation latency is one
+// cell, not one suite).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
@@ -179,6 +182,9 @@ func Run(cfg Config) (*Report, error) {
 	// Simulator throughput across the policy × topology × size grid.
 	for _, sc := range simSuite {
 		for _, n := range sizes {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if n > sc.maxSize {
 				cfg.Logf("bench: skipping %s at n=%d (gated above n=%d)", sc.policy, n, sc.maxSize)
 				continue
@@ -199,6 +205,9 @@ func Run(cfg Config) (*Report, error) {
 	// Headline: the historical BenchmarkSimulateFB cell at n=2000,
 	// optimized vs the retained reference loop, with the speedup the
 	// indexed event queue + sparse allocations bought.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	fbIn, err := benchInstance("swan", cfg.FBSize, 0.5, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("bench: BenchmarkSimulateFB instance: %w", err)
@@ -221,7 +230,7 @@ func Run(cfg Config) (*Report, error) {
 
 	// Scheduler and LP micro-benchmarks (fixed small instances: these
 	// track per-call cost of the offline pipeline, not scale).
-	sched, err := schedulerResults(cfg)
+	sched, err := schedulerResults(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +288,7 @@ func runSim(cfg Config, name string, in *coflow.Instance,
 }
 
 // schedulerResults runs the offline scheduler and LP micro-benchmarks.
-func schedulerResults(cfg Config) ([]Result, error) {
+func schedulerResults(ctx context.Context, cfg Config) ([]Result, error) {
 	var out []Result
 	lpIn, err := benchInstance("swan", 8, 1, cfg.Seed)
 	if err != nil {
@@ -322,6 +331,9 @@ func schedulerResults(cfg Config) ([]Result, error) {
 		}},
 	}
 	for _, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		br := testing.Benchmark(c.fn)
 		r := fromBenchmark(c.name, br)
 		cfg.Logf("bench: %-55s %25d ns/op", c.name, int64(r.NsPerOp))

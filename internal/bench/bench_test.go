@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,7 +18,7 @@ func TestRunProducesCompleteReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run skipped in -short")
 	}
-	rep, err := Run(tinyConfig())
+	rep, err := Run(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRunProducesCompleteReport(t *testing.T) {
 }
 
 func TestRunRejectsUnknownTier(t *testing.T) {
-	if _, err := Run(Config{Tier: "9000k"}); err == nil ||
+	if _, err := Run(context.Background(), Config{Tier: "9000k"}); err == nil ||
 		!strings.Contains(err.Error(), "tier") {
 		t.Fatalf("want tier error, got %v", err)
 	}
@@ -133,5 +134,15 @@ func TestLoadRejectsWrongSchema(t *testing.T) {
 	}
 	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+// TestRunCancelled: a cancelled context stops the suite before any
+// benchmark cell runs.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, tinyConfig()); err != context.Canceled {
+		t.Fatalf("cancelled Run returned %v", err)
 	}
 }

@@ -42,6 +42,34 @@ type jsonInstance struct {
 
 // WriteJSON serializes the instance.
 func (in *Instance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in.toJSON())
+}
+
+// MarshalJSON implements json.Marshaler with the WriteJSON encoding,
+// so instances embed directly inside larger documents (internal/spec
+// carries one as Spec.Instance).
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(in.toJSON())
+}
+
+// UnmarshalJSON implements json.Unmarshaler; it accepts exactly what
+// MarshalJSON/WriteJSON produce.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var ji jsonInstance
+	if err := json.Unmarshal(data, &ji); err != nil {
+		return fmt.Errorf("coflow: decoding instance: %w", err)
+	}
+	dec, err := fromJSON(&ji)
+	if err != nil {
+		return err
+	}
+	*in = *dec
+	return nil
+}
+
+func (in *Instance) toJSON() *jsonInstance {
 	g := in.Graph
 	ji := jsonInstance{}
 	for v := graph.NodeID(0); v < graph.NodeID(g.NumNodes()); v++ {
@@ -74,9 +102,7 @@ func (in *Instance) WriteJSON(w io.Writer) error {
 		}
 		ji.Coflows = append(ji.Coflows, jc)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(ji)
+	return &ji
 }
 
 // ReadJSON deserializes an instance written by WriteJSON.
@@ -85,6 +111,10 @@ func ReadJSON(r io.Reader) (*Instance, error) {
 	if err := json.NewDecoder(r).Decode(&ji); err != nil {
 		return nil, fmt.Errorf("coflow: decoding instance: %w", err)
 	}
+	return fromJSON(&ji)
+}
+
+func fromJSON(ji *jsonInstance) (*Instance, error) {
 	g := graph.New()
 	for _, name := range ji.Nodes {
 		g.AddNode(name)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/coflow"
 	"repro/internal/core"
+	"repro/internal/timegrid"
 )
 
 // Registry names of the built-in schedulers.
@@ -27,15 +28,14 @@ func init() {
 
 // runCore executes the Stretch pipeline with the shared adaptive
 // grid policy (core.RunAdaptive doubles the slot count when the
-// horizon proves too short).
-func runCore(ctx context.Context, inst *coflow.Instance, opt Options, trials int) (*core.Result, error) {
-	res, _, err := core.RunAdaptive(ctx, inst, opt.Mode, opt.MaxSlots, core.Options{
+// horizon proves too short) and returns the grid that succeeded.
+func runCore(ctx context.Context, inst *coflow.Instance, opt Options, trials int) (*core.Result, timegrid.Grid, error) {
+	return core.RunAdaptive(ctx, inst, opt.Mode, opt.MaxSlots, core.Options{
 		DisableCompaction: opt.DisableCompaction,
 		Trials:            trials,
 		Seed:              opt.Seed,
 		Workers:           opt.Workers,
 	}, nil)
-	return res, err
 }
 
 // stretchScheduler is the paper's full pipeline: time-indexed LP,
@@ -46,11 +46,12 @@ type stretchScheduler struct{}
 func (stretchScheduler) Name() string                 { return NameStretch }
 func (stretchScheduler) Supports(m coflow.Model) bool { return supportedCoreModel(m) }
 func (s stretchScheduler) Schedule(ctx context.Context, inst *coflow.Instance, opt Options) (*Result, error) {
-	cr, err := runCore(ctx, inst, opt, opt.Trials)
+	cr, grid, err := runCore(ctx, inst, opt, opt.Trials)
 	if err != nil {
 		return nil, err
 	}
 	res := fromCore(cr)
+	res.Extra["grid-slots"] = float64(grid.NumSlots())
 	if cr.Stretch != nil {
 		res.Extra["best-lambda"] = cr.Stretch.BestLambda
 		res.Extra["avg-weighted"] = cr.Stretch.AvgWeighted
@@ -77,11 +78,16 @@ type heuristicScheduler struct{}
 func (heuristicScheduler) Name() string                 { return NameHeuristic }
 func (heuristicScheduler) Supports(m coflow.Model) bool { return supportedCoreModel(m) }
 func (heuristicScheduler) Schedule(ctx context.Context, inst *coflow.Instance, opt Options) (*Result, error) {
-	cr, err := runCore(ctx, inst, opt, 0)
+	cr, grid, err := runCore(ctx, inst, opt, 0)
 	if err != nil {
 		return nil, err
 	}
-	return fromCore(cr), nil
+	res := fromCore(cr)
+	// The successful grid length: harnesses that layer interval LPs or
+	// horizon-parameterized baselines on top of a heuristic cell reuse
+	// it as their horizon.
+	res.Extra["grid-slots"] = float64(grid.NumSlots())
+	return res, nil
 }
 
 // terraScheduler wraps the Terra SRTF baseline (free path only,

@@ -48,6 +48,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pool"
 	"repro/internal/simplex"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/timegrid"
 	"repro/internal/workload"
@@ -326,7 +327,7 @@ func (c Config) generate(kind workload.Kind, g *graph.Graph, n int, unweighted, 
 
 // weightedFree runs Figures 6 and 7: free path, weighted, one row per
 // workload with LP bound / heuristic / best λ / average λ.
-func weightedFree(c Config, topo string, figure string) (*FigureResult, error) {
+func weightedFree(ctx context.Context, c Config, topo string, figure string) (*FigureResult, error) {
 	c = c.withDefaults()
 	g, err := topologyFor(topo)
 	if err != nil {
@@ -340,14 +341,14 @@ func weightedFree(c Config, topo string, figure string) (*FigureResult, error) {
 		Name:   figure,
 		Series: []string{SeriesLP, SeriesHeuristic, SeriesBestLambda, SeriesAvgLambda},
 	}
-	rows, err := pool.Map(context.Background(), len(workload.Kinds), c.Workers, func(i int) (Row, error) {
+	rows, err := pool.Map(ctx, len(workload.Kinds), c.Workers, func(i int) (Row, error) {
 		kind := workload.Kinds[i]
 		c.logf("%s: workload %v (n=%d)", figure, kind, n)
 		in, err := c.generate(kind, g, n, false, false)
 		if err != nil {
 			return Row{}, err
 		}
-		run, _, err := runAdaptive(context.Background(), c, in, coflow.FreePath, c.Trials,
+		run, _, err := runAdaptive(ctx, c, in, coflow.FreePath, c.Trials,
 			stats.SubSeed(c.Seed, uint64(kind)+100))
 		if err != nil {
 			return Row{}, fmt.Errorf("%s %v: %w", figure, kind, err)
@@ -370,18 +371,18 @@ func weightedFree(c Config, topo string, figure string) (*FigureResult, error) {
 }
 
 // Figure6 regenerates Figure 6 (free path, SWAN, weighted).
-func Figure6(c Config) (*FigureResult, error) {
-	return weightedFree(c, "SWAN", "Figure 6: free path on SWAN (weighted completion, slot units)")
+func Figure6(ctx context.Context, c Config) (*FigureResult, error) {
+	return weightedFree(ctx, c, "SWAN", "Figure 6: free path on SWAN (weighted completion, slot units)")
 }
 
 // Figure7 regenerates Figure 7 (free path, G-Scale, weighted).
-func Figure7(c Config) (*FigureResult, error) {
-	return weightedFree(c, "G-Scale", "Figure 7: free path on G-Scale (weighted completion, slot units)")
+func Figure7(ctx context.Context, c Config) (*FigureResult, error) {
+	return weightedFree(ctx, c, "G-Scale", "Figure 7: free path on G-Scale (weighted completion, slot units)")
 }
 
 // Figure8 regenerates Figure 8: the geometric-interval ε sweep on the
 // FB workload over SWAN in the free path model.
-func Figure8(c Config) (*FigureResult, error) {
+func Figure8(ctx context.Context, c Config) (*FigureResult, error) {
 	c = c.withDefaults()
 	g, err := topologyFor("SWAN")
 	if err != nil {
@@ -401,7 +402,7 @@ func Figure8(c Config) (*FigureResult, error) {
 	}
 	eps := append([]float64(nil), c.EpsSweep...)
 	sort.Float64s(eps)
-	rows, err := pool.Map(context.Background(), len(eps), c.Workers, func(i int) (Row, error) {
+	rows, err := pool.Map(ctx, len(eps), c.Workers, func(i int) (Row, error) {
 		e := eps[i]
 		c.logf("Figure 8: ε = %.4g", e)
 		grid := timegrid.Geometric(horizon, e)
@@ -432,12 +433,32 @@ func Figure8(c Config) (*FigureResult, error) {
 	return res, nil
 }
 
+// specKind is the internal/spec workload-kind name of a
+// workload.Kind; ParseKind accepts the lowercased display names.
+func specKind(k workload.Kind) string { return strings.ToLower(k.String()) }
+
+// topoSpec maps the figure topology labels to spec topology names.
+func topoSpec(topo string) (string, error) {
+	switch topo {
+	case "SWAN":
+		return "swan", nil
+	case "G-Scale":
+		return "gscale", nil
+	default:
+		return "", fmt.Errorf("experiments: unknown topology %q", topo)
+	}
+}
+
 // singlePath runs Figures 9 and 10: per workload, the time-indexed LP
 // and heuristic, the ε=0.2 time-interval LP and heuristic, and the
-// Jahanjou et al. baseline (ε=0.5436).
-func singlePath(c Config, topo, figure string) (*FigureResult, error) {
+// Jahanjou et al. baseline (ε=0.5436). The LP + heuristic series run
+// as one declarative spec cell per workload; the interval-LP and
+// baseline series reuse that cell's adaptive horizon (reported via
+// the engine's grid-slots metric), so they cannot be independent
+// sweep cells of their own.
+func singlePath(ctx context.Context, c Config, topo, figure string) (*FigureResult, error) {
 	c = c.withDefaults()
-	g, err := topologyFor(topo)
+	top, err := topoSpec(topo)
 	if err != nil {
 		return nil, err
 	}
@@ -450,21 +471,45 @@ func singlePath(c Config, topo, figure string) (*FigureResult, error) {
 		Series: []string{SeriesLP, SeriesHeuristic, SeriesIntervalLP,
 			SeriesIntervalHeur, SeriesJahanjou, SeriesSincronia},
 	}
-	rows, err := pool.Map(context.Background(), len(workload.Kinds), c.Workers, func(i int) (Row, error) {
+	rows, err := pool.Map(ctx, len(workload.Kinds), c.Workers, func(i int) (Row, error) {
 		kind := workload.Kinds[i]
 		c.logf("%s: workload %v (n=%d)", figure, kind, n)
-		in, err := c.generate(kind, g, n, false, true)
+		cell := spec.Spec{
+			Topology: top,
+			Workload: &spec.Workload{
+				Kind:             specKind(kind),
+				Coflows:          n,
+				Seed:             stats.SubSeed(c.Seed, uint64(kind)*31+7),
+				MeanInterarrival: c.MeanInterarrival,
+			},
+			Model:     spec.ModelSingle,
+			Scheduler: "heuristic",
+			Options:   spec.Options{MaxSlots: c.MaxSlots},
+		}
+		// Materialize the cell's instance once and run the spec cell on
+		// it inline: the heuristic series and the interval-LP/baseline
+		// series below then share one instance from one derivation, by
+		// construction.
+		in, err := cell.Materialize()
 		if err != nil {
 			return Row{}, err
 		}
-		run, grid, err := runAdaptive(context.Background(), c, in, coflow.SinglePath, 0, 0)
+		cell.Instance, cell.Topology, cell.Workload = in, "", nil
+		rep, err := spec.Run(ctx, cell)
 		if err != nil {
 			return Row{}, fmt.Errorf("%s %v (uniform): %w", figure, kind, err)
 		}
+		run := rep.Engine.Core
 
 		// Time-interval LP (ε = 0.2) + its heuristic, growing the
-		// horizon when interval snapping loses feasibility.
-		horizon := grid.Horizon()
+		// horizon when interval snapping loses feasibility. The
+		// starting horizon is the uniform cell's final (adaptive) grid,
+		// reported by the heuristic scheduler as grid-slots; a missing
+		// or degenerate value must fail loudly, not seed a 0 horizon.
+		horizon, ok := rep.Extra["grid-slots"]
+		if !ok || horizon < 1 {
+			return Row{}, fmt.Errorf("%s %v: heuristic cell reported no usable grid-slots (%v)", figure, kind, horizon)
+		}
 		var solInt *model.Solution
 		var heurInt *core.Evaluated
 		var gridInt timegrid.Grid
@@ -522,18 +567,18 @@ func singlePath(c Config, topo, figure string) (*FigureResult, error) {
 }
 
 // Figure9 regenerates Figure 9 (single path, SWAN).
-func Figure9(c Config) (*FigureResult, error) {
-	return singlePath(c, "SWAN", "Figure 9: single path on SWAN (weighted completion, slot units)")
+func Figure9(ctx context.Context, c Config) (*FigureResult, error) {
+	return singlePath(ctx, c, "SWAN", "Figure 9: single path on SWAN (weighted completion, slot units)")
 }
 
 // Figure10 regenerates Figure 10 (single path, G-Scale).
-func Figure10(c Config) (*FigureResult, error) {
-	return singlePath(c, "G-Scale", "Figure 10: single path on G-Scale (weighted completion, slot units)")
+func Figure10(ctx context.Context, c Config) (*FigureResult, error) {
+	return singlePath(ctx, c, "G-Scale", "Figure 10: single path on G-Scale (weighted completion, slot units)")
 }
 
 // unweightedFree runs Figures 11 and 12: unit weights, total
 // completion time, against Terra.
-func unweightedFree(c Config, topo, figure string) (*FigureResult, error) {
+func unweightedFree(ctx context.Context, c Config, topo, figure string) (*FigureResult, error) {
 	c = c.withDefaults()
 	g, err := topologyFor(topo)
 	if err != nil {
@@ -548,14 +593,14 @@ func unweightedFree(c Config, topo, figure string) (*FigureResult, error) {
 		Series: []string{SeriesLP, SeriesHeuristic, SeriesBestLambda,
 			SeriesAvgLambda, SeriesTerra},
 	}
-	rows, err := pool.Map(context.Background(), len(workload.Kinds), c.Workers, func(i int) (Row, error) {
+	rows, err := pool.Map(ctx, len(workload.Kinds), c.Workers, func(i int) (Row, error) {
 		kind := workload.Kinds[i]
 		c.logf("%s: workload %v (n=%d)", figure, kind, n)
 		in, err := c.generate(kind, g, n, true, false)
 		if err != nil {
 			return Row{}, err
 		}
-		run, _, err := runAdaptive(context.Background(), c, in, coflow.FreePath, c.Trials,
+		run, _, err := runAdaptive(ctx, c, in, coflow.FreePath, c.Trials,
 			stats.SubSeed(c.Seed, uint64(kind)+200))
 		if err != nil {
 			return Row{}, fmt.Errorf("%s %v: %w", figure, kind, err)
@@ -588,17 +633,18 @@ func unweightedFree(c Config, topo, figure string) (*FigureResult, error) {
 }
 
 // Figure11 regenerates Figure 11 (free path, SWAN, unit weights, vs Terra).
-func Figure11(c Config) (*FigureResult, error) {
-	return unweightedFree(c, "SWAN", "Figure 11: free path on SWAN (total completion, unit weights, slot units)")
+func Figure11(ctx context.Context, c Config) (*FigureResult, error) {
+	return unweightedFree(ctx, c, "SWAN", "Figure 11: free path on SWAN (total completion, unit weights, slot units)")
 }
 
 // Figure12 regenerates Figure 12 (free path, G-Scale, unit weights, vs Terra).
-func Figure12(c Config) (*FigureResult, error) {
-	return unweightedFree(c, "G-Scale", "Figure 12: free path on G-Scale (total completion, unit weights, slot units)")
+func Figure12(ctx context.Context, c Config) (*FigureResult, error) {
+	return unweightedFree(ctx, c, "G-Scale", "Figure 12: free path on G-Scale (total completion, unit weights, slot units)")
 }
 
-// Figures maps figure numbers to their harnesses.
-var Figures = map[int]func(Config) (*FigureResult, error){
+// Figures maps figure numbers to their harnesses. Every harness
+// takes a context and stops between cells when it is cancelled.
+var Figures = map[int]func(context.Context, Config) (*FigureResult, error){
 	6: Figure6, 7: Figure7, 8: Figure8, 9: Figure9,
 	10: Figure10, 11: Figure11, 12: Figure12,
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -35,7 +36,7 @@ func requireShape(t *testing.T, r *FigureResult, lpSeries string, algoSeries ...
 }
 
 func TestFigure6Small(t *testing.T) {
-	r, err := Figure6(Small())
+	r, err := Figure6(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestFigure6Small(t *testing.T) {
 }
 
 func TestFigure8Small(t *testing.T) {
-	r, err := Figure8(Small())
+	r, err := Figure8(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFigure8Small(t *testing.T) {
 }
 
 func TestFigure9Small(t *testing.T) {
-	r, err := Figure9(Small())
+	r, err := Figure9(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,19 +93,19 @@ func TestFigure9Small(t *testing.T) {
 func TestParallelFigureMatchesSerial(t *testing.T) {
 	for _, fig := range []struct {
 		name string
-		fn   func(Config) (*FigureResult, error)
+		fn   func(context.Context, Config) (*FigureResult, error)
 	}{{"figure6", Figure6}, {"figure8", Figure8}, {"figure11", Figure11}} {
 		t.Run(fig.name, func(t *testing.T) {
 			serial := Small()
 			serial.Workers = 1
-			want, err := fig.fn(serial)
+			want, err := fig.fn(context.Background(), serial)
 			if err != nil {
 				t.Fatal(err)
 			}
 			par := Small()
 			par.Workers = 4
 			par.Logf = t.Logf // exercise concurrent logging too
-			got, err := fig.fn(par)
+			got, err := fig.fn(context.Background(), par)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -126,7 +127,7 @@ func TestParallelFigureMatchesSerial(t *testing.T) {
 }
 
 func TestFigure11Small(t *testing.T) {
-	r, err := Figure11(Small())
+	r, err := Figure11(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}

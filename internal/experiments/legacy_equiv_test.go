@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/coflow"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sim"
+	"repro/internal/simplex"
+	"repro/internal/stats"
+	"repro/internal/timegrid"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// This file pins the Spec/Sweep redesign to the behavior it replaced:
+// verbatim copies of the pre-redesign figure harnesses (direct
+// workload/engine/sim calls, pool.Map cells) run next to the
+// spec.Stream-backed implementations, and the tables must match bit
+// for bit at several worker counts. If a seed derivation, a default,
+// or an instance-construction detail drifts, these fail first.
+
+// legacyFigureO1 is the pre-redesign FigureO1, verbatim.
+func legacyFigureO1(c Config) (*FigureResult, error) {
+	c = c.withDefaults()
+	g, err := topologyFor("SWAN")
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{
+		Name:   "Figure O1: online load sweep on SWAN (avg slowdown vs clairvoyant " + O1Offline + ")",
+		Series: append([]string{SeriesOffline}, O1Policies...),
+	}
+	type cell struct {
+		kind workload.Kind
+		load float64
+	}
+	var cells []cell
+	for _, kind := range workload.Kinds {
+		for _, load := range c.Loads {
+			cells = append(cells, cell{kind, load})
+		}
+	}
+	rows, err := pool.Map(context.Background(), len(cells), c.Workers, func(i int) (Row, error) {
+		kind, load := cells[i].kind, cells[i].load
+		label := fmt.Sprintf("%s λ=%.2g", kind, load)
+		in, err := workload.Generate(workload.Config{
+			Kind: kind, Graph: g, NumCoflows: c.SingleCoflows,
+			Seed:             stats.SubSeed(c.Seed, 0xC0F*uint64(i)+1),
+			MeanInterarrival: 1 / load,
+			AssignPaths:      true,
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		ctx := context.Background()
+		off, err := clairvoyantReference(ctx, in, O1Offline, sim.Options{
+			MaxSlots: c.MaxSlots, Seed: c.Seed, Workers: 1,
+		})
+		if err != nil {
+			return Row{}, fmt.Errorf("O1 %s: %w", label, err)
+		}
+		row := Row{Label: label, Values: map[string]float64{SeriesOffline: off.WeightedCCT}}
+		for _, name := range O1Policies {
+			r, err := sim.Simulate(ctx, in, sim.Options{
+				Policy: name, MaxSlots: c.MaxSlots,
+				Seed: stats.SubSeed(c.Seed, uint64(i)), Workers: 1,
+			})
+			if err != nil {
+				return Row{}, fmt.Errorf("O1 %s (%s): %w", label, name, err)
+			}
+			s, err := sim.Slowdown(r, off.Completions)
+			if err != nil {
+				return Row{}, err
+			}
+			row.Values[name] = s
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// legacyFigureT1 is the pre-redesign FigureT1, verbatim.
+func legacyFigureT1(c Config) (*FigureResult, error) {
+	c = c.withDefaults()
+	res := &FigureResult{
+		Name:   "Figure T1: topology sweep, single path FB workload (ΣwC / LP bound)",
+		Series: append([]string(nil), T1Schedulers...),
+	}
+	rows, err := pool.Map(context.Background(), len(T1Specs), c.Workers, func(i int) (Row, error) {
+		spec := T1Specs[i]
+		top, err := topo.New(spec)
+		if err != nil {
+			return Row{}, fmt.Errorf("T1 %s: %w", spec, err)
+		}
+		in, err := workload.Generate(workload.Config{
+			Kind:             workload.FB,
+			Graph:            top.Graph,
+			NumCoflows:       c.SingleCoflows,
+			Seed:             stats.SubSeed(c.Seed, 0x701+uint64(i)),
+			MeanInterarrival: c.MeanInterarrival,
+			AssignPaths:      true,
+			Endpoints:        top.Endpoints,
+		})
+		if err != nil {
+			return Row{}, fmt.Errorf("T1 %s: %w", spec, err)
+		}
+		row := Row{Label: spec, Values: map[string]float64{}}
+		var bound float64
+		for _, name := range T1Schedulers {
+			r, err := engine.Schedule(context.Background(), name, in, coflow.SinglePath, engine.Options{
+				MaxSlots: c.MaxSlots,
+				Trials:   c.Trials,
+				Seed:     stats.SubSeed(c.Seed, 0x71A+uint64(i)),
+				Workers:  1,
+			})
+			if err != nil {
+				return Row{}, fmt.Errorf("T1 %s (%s): %w", spec, name, err)
+			}
+			if name == engine.NameHeuristic && r.HasLowerBound {
+				bound = r.LowerBound
+			}
+			row.Values[name] = r.Weighted
+		}
+		if bound <= 0 {
+			return Row{}, fmt.Errorf("T1 %s: no LP lower bound", spec)
+		}
+		for name, v := range row.Values {
+			row.Values[name] = v / bound
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// legacySinglePath is the pre-redesign Figures 9/10 harness, verbatim
+// (direct runAdaptive instead of the spec heuristic cell).
+func legacySinglePath(c Config, topo, figure string) (*FigureResult, error) {
+	c = c.withDefaults()
+	g, err := topologyFor(topo)
+	if err != nil {
+		return nil, err
+	}
+	n := c.SingleCoflows
+	if topo == "G-Scale" {
+		n = (n*2 + 2) / 3
+	}
+	res := &FigureResult{
+		Name: figure,
+		Series: []string{SeriesLP, SeriesHeuristic, SeriesIntervalLP,
+			SeriesIntervalHeur, SeriesJahanjou, SeriesSincronia},
+	}
+	rows, err := pool.Map(context.Background(), len(workload.Kinds), c.Workers, func(i int) (Row, error) {
+		kind := workload.Kinds[i]
+		in, err := c.generate(kind, g, n, false, true)
+		if err != nil {
+			return Row{}, err
+		}
+		run, grid, err := runAdaptive(context.Background(), c, in, coflow.SinglePath, 0, 0)
+		if err != nil {
+			return Row{}, fmt.Errorf("%s %v (uniform): %w", figure, kind, err)
+		}
+
+		horizon := grid.Horizon()
+		var solInt *model.Solution
+		var heurInt *core.Evaluated
+		var gridInt timegrid.Grid
+		for h := horizon; ; h *= 2 {
+			gridInt = timegrid.Geometric(h, 0.2)
+			lInt, err := model.BuildSinglePath(in, gridInt)
+			if err != nil {
+				return Row{}, err
+			}
+			solInt, err = lInt.Solve(simplex.Options{})
+			if err != nil {
+				if core.RetryableLP(err) && h < 8*horizon {
+					continue
+				}
+				return Row{}, fmt.Errorf("%s %v (interval): %w", figure, kind, err)
+			}
+			break
+		}
+		heurInt, err = core.Heuristic(solInt, core.Options{Grid: gridInt})
+		if err != nil {
+			return Row{}, err
+		}
+
+		jr, err := baselines.JahanjouAdaptive(in, horizon, baselines.JahanjouEpsilon, 0.5)
+		if err != nil {
+			return Row{}, fmt.Errorf("%s %v (jahanjou): %w", figure, kind, err)
+		}
+
+		sg, err := baselines.SincroniaAdaptive(in, horizon)
+		if err != nil {
+			return Row{}, fmt.Errorf("%s %v (sincronia): %w", figure, kind, err)
+		}
+
+		return Row{
+			Label: kind.String(),
+			Values: map[string]float64{
+				SeriesLP:           run.LowerBound,
+				SeriesHeuristic:    run.Heuristic.Weighted,
+				SeriesIntervalLP:   solInt.LowerBound,
+				SeriesIntervalHeur: heurInt.Weighted,
+				SeriesJahanjou:     jr.Weighted,
+				SeriesSincronia:    sg.WeightedCompletion(),
+			},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+func requireEqualTables(t *testing.T, name string, want, got *FigureResult) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("%s: name %q != %q", name, got.Name, want.Name)
+	}
+	if !reflect.DeepEqual(got.Series, want.Series) {
+		t.Fatalf("%s: series %v != %v", name, got.Series, want.Series)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows != %d", name, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if got.Rows[i].Label != want.Rows[i].Label {
+			t.Fatalf("%s row %d: label %q != %q", name, i, got.Rows[i].Label, want.Rows[i].Label)
+		}
+		if !reflect.DeepEqual(got.Rows[i].Values, want.Rows[i].Values) {
+			t.Fatalf("%s row %q: values drifted:\nlegacy: %v\nsweep:  %v",
+				name, got.Rows[i].Label, want.Rows[i].Values, got.Rows[i].Values)
+		}
+	}
+}
+
+// TestFigureO1MatchesLegacy: the sweep-backed O1 equals the legacy
+// harness bit for bit, at several worker counts.
+func TestFigureO1MatchesLegacy(t *testing.T) {
+	c := Small()
+	c.SingleCoflows = 6
+	want, err := legacyFigureO1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		c.Workers = workers
+		got, err := FigureO1(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualTables(t, fmt.Sprintf("O1/workers=%d", workers), want, got)
+	}
+}
+
+// TestFigureT1MatchesLegacy: same guard for the topology sweep.
+func TestFigureT1MatchesLegacy(t *testing.T) {
+	c := t1Config(1)
+	want, err := legacyFigureT1(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		c.Workers = workers
+		got, err := FigureT1(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualTables(t, fmt.Sprintf("T1/workers=%d", workers), want, got)
+	}
+}
+
+// TestFigure9MatchesLegacy: the spec-cell-backed Figures 9/10 harness
+// equals the legacy one, including the adaptive-grid horizon handoff
+// to the interval LP and the baselines (the Small config is known to
+// trigger grid-doubling retries, so the handoff is exercised, not
+// vacuous).
+func TestFigure9MatchesLegacy(t *testing.T) {
+	c := Small()
+	want, err := legacySinglePath(c, "SWAN", "Figure 9: single path on SWAN (weighted completion, slot units)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		c.Workers = workers
+		got, err := Figure9(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualTables(t, fmt.Sprintf("fig9/workers=%d", workers), want, got)
+	}
+}
+
+// TestFigure10MatchesLegacy covers the G-Scale variant (and with it
+// the per-topology coflow-count adjustment).
+func TestFigure10MatchesLegacy(t *testing.T) {
+	c := Small()
+	c.SingleCoflows = 4
+	want, err := legacySinglePath(c, "G-Scale", "Figure 10: single path on G-Scale (weighted completion, slot units)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Figure10(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualTables(t, "fig10", want, got)
+}

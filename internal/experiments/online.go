@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/coflow"
 	"repro/internal/engine"
-	"repro/internal/pool"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -141,74 +141,99 @@ func clairvoyantReference(ctx context.Context, in *coflow.Instance, offline stri
 	return ref, nil
 }
 
-// FigureO1 is the online load sweep: one cell per (workload,
-// arrival-rate) pair on SWAN in the single path model. Each cell
-// generates a Poisson-release instance at that load, runs every
-// O1Policies member through the online simulator, and reports the
-// average per-coflow slowdown against a clairvoyant continuous-time
-// run of the O1Offline scheduler's epoch adapter, next to that
-// reference's weighted CCT for scale. Cells fan out over the worker
-// pool with per-cell derived seeds, so the table is bit-identical at
-// any Config.Workers.
-func FigureO1(c Config) (*FigureResult, error) {
+// FigureO1 is the online load sweep: one streamed spec cell per
+// (workload, arrival-rate, run) triple on SWAN in the single path
+// model — runs are the clairvoyant reference (the O1Offline
+// scheduler's epoch adapter with every coflow revealed at t=0) plus
+// each O1Policies member. The table reports the average per-coflow
+// slowdown of every policy against its instance point's reference,
+// next to the reference's weighted CCT for scale. Cells fan out over
+// internal/spec's streaming executor with per-cell derived seeds, so
+// the table is bit-identical at any Config.Workers.
+func FigureO1(ctx context.Context, c Config) (*FigureResult, error) {
 	c = c.withDefaults()
-	g, err := topologyFor("SWAN")
-	if err != nil {
-		return nil, err
-	}
 	res := &FigureResult{
 		Name:   "Figure O1: online load sweep on SWAN (avg slowdown vs clairvoyant " + O1Offline + ")",
 		Series: append([]string{SeriesOffline}, O1Policies...),
 	}
-	type cell struct {
+	type point struct {
 		kind workload.Kind
 		load float64
 	}
-	var cells []cell
+	var points []point
 	for _, kind := range workload.Kinds {
 		for _, load := range c.Loads {
-			cells = append(cells, cell{kind, load})
+			points = append(points, point{kind, load})
 		}
 	}
-	rows, err := pool.Map(context.Background(), len(cells), c.Workers, func(i int) (Row, error) {
-		kind, load := cells[i].kind, cells[i].load
-		label := fmt.Sprintf("%s λ=%.2g", kind, load)
-		c.logf("Figure O1: %s", label)
-		in, err := workload.Generate(workload.Config{
-			Kind: kind, Graph: g, NumCoflows: c.SingleCoflows,
-			Seed:             stats.SubSeed(c.Seed, 0xC0F*uint64(i)+1),
-			MeanInterarrival: 1 / load,
-			AssignPaths:      true,
-		})
+	// Materialize each grid point's instance once — the reference and
+	// every policy run share it inline instead of regenerating it per
+	// cell. Seeds reproduce the original per-point derivation exactly,
+	// so the sweep-backed figure matches the legacy implementation bit
+	// for bit.
+	runs := 1 + len(O1Policies)
+	instances := make([]*coflow.Instance, len(points))
+	for pi, p := range points {
+		c.logf("Figure O1: %s λ=%.2g", p.kind, p.load)
+		in, err := spec.Spec{
+			// Any online policy makes Materialize assign single-path
+			// routes; nothing runs here.
+			Policy: sim.NameFIFO,
+			Workload: &spec.Workload{
+				Kind:             specKind(p.kind),
+				Coflows:          c.SingleCoflows,
+				Seed:             stats.SubSeed(c.Seed, 0xC0F*uint64(pi)+1),
+				MeanInterarrival: 1 / p.load,
+			},
+		}.Materialize()
 		if err != nil {
-			return Row{}, err
+			return nil, fmt.Errorf("O1 %s λ=%.2g: %w", p.kind, p.load, err)
 		}
-		ctx := context.Background()
-		off, err := clairvoyantReference(ctx, in, O1Offline, sim.Options{
-			MaxSlots: c.MaxSlots, Seed: c.Seed, Workers: 1,
-		})
-		if err != nil {
-			return Row{}, fmt.Errorf("O1 %s: %w", label, err)
+		instances[pi] = in
+	}
+	at := func(i int) spec.Spec {
+		pi, r := i/runs, i%runs
+		s := spec.Spec{
+			Instance: instances[pi],
+			Options:  spec.Options{MaxSlots: c.MaxSlots, Workers: 1},
 		}
-		row := Row{Label: label, Values: map[string]float64{SeriesOffline: off.WeightedCCT}}
-		for _, name := range O1Policies {
-			r, err := sim.Simulate(ctx, in, sim.Options{
-				Policy: name, MaxSlots: c.MaxSlots,
-				Seed: stats.SubSeed(c.Seed, uint64(i)), Workers: 1,
-			})
+		if r == 0 {
+			s.Policy = "epoch:" + O1Offline
+			s.Options.Clairvoyant = true
+			s.Options.Seed = c.Seed
+		} else {
+			s.Policy = O1Policies[r-1]
+			s.Options.Seed = stats.SubSeed(c.Seed, uint64(pi))
+		}
+		return s
+	}
+	reports := make([]*spec.RunReport, len(points)*runs)
+	for i, cell := range spec.Stream(ctx, len(reports), c.Workers, at) {
+		if cell.Err != nil {
+			pi := i / runs
+			return nil, fmt.Errorf("O1 %s λ=%.2g (%s): %w",
+				points[pi].kind, points[pi].load, cell.Spec.Policy, cell.Err)
+		}
+		reports[i] = cell.Report
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(points))
+	for pi, p := range points {
+		off := reports[pi*runs]
+		row := Row{
+			Label:  fmt.Sprintf("%s λ=%.2g", p.kind, p.load),
+			Values: map[string]float64{SeriesOffline: off.Weighted},
+		}
+		for r, name := range O1Policies {
+			s, err := sim.Slowdown(reports[pi*runs+1+r].Sim, off.Sim.Completions)
 			if err != nil {
-				return Row{}, fmt.Errorf("O1 %s (%s): %w", label, name, err)
-			}
-			s, err := sim.Slowdown(r, off.Completions)
-			if err != nil {
-				return Row{}, err
+				return nil, err
 			}
 			row.Values[name] = s
 		}
-		return row, nil
-	})
-	if err != nil {
-		return nil, err
+		rows[pi] = row
 	}
 	res.Rows = rows
 	return res, nil

@@ -13,7 +13,7 @@ import (
 
 func TestFigureO1Shape(t *testing.T) {
 	c := Small()
-	res, err := FigureO1(c)
+	res, err := FigureO1(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,12 +45,12 @@ func TestFigureO1Shape(t *testing.T) {
 func TestFigureO1DeterministicAcrossWorkers(t *testing.T) {
 	c := Small()
 	c.Workers = 1
-	a, err := FigureO1(c)
+	a, err := FigureO1(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Workers = 6
-	b, err := FigureO1(c)
+	b, err := FigureO1(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,9 +6,8 @@ import (
 
 	"repro/internal/coflow"
 	"repro/internal/engine"
-	"repro/internal/pool"
+	"repro/internal/spec"
 	"repro/internal/stats"
-	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
@@ -42,69 +41,88 @@ var T1Schedulers = []string{
 	engine.NameSincronia,
 }
 
-// FigureT1 runs the topology sweep: one cell per topology spec, each
-// generating an FB workload restricted to the topology's endpoints and
-// running every T1Schedulers member in the single path model. Reported
-// values are the CCT ratio — weighted completion over the cell's
-// time-indexed LP lower bound — so 1.0 is LP-optimal and families
-// where an algorithm's big-switch assumptions break show up as
-// inflated ratios. Cells fan out over the worker pool; per-cell seeds
-// derive from Config.Seed, so the table is identical at any
-// Config.Workers.
-func FigureT1(c Config) (*FigureResult, error) {
+// FigureT1 runs the topology sweep: one streamed spec cell per
+// (topology spec, scheduler) pair, each generating an FB workload
+// restricted to the topology's endpoints and running in the single
+// path model. Reported values are the CCT ratio — weighted completion
+// over the topology's time-indexed LP lower bound (from its heuristic
+// cell) — so 1.0 is LP-optimal and families where an algorithm's
+// big-switch assumptions break show up as inflated ratios. Cells fan
+// out over internal/spec's streaming executor; per-cell seeds derive
+// from Config.Seed, so the table is identical at any Config.Workers.
+func FigureT1(ctx context.Context, c Config) (*FigureResult, error) {
 	c = c.withDefaults()
 	res := &FigureResult{
 		Name:   "Figure T1: topology sweep, single path FB workload (ΣwC / LP bound)",
 		Series: append([]string(nil), T1Schedulers...),
 	}
-	rows, err := pool.Map(context.Background(), len(T1Specs), c.Workers, func(i int) (Row, error) {
-		spec := T1Specs[i]
-		c.logf("Figure T1: topology %s", spec)
-		top, err := topo.New(spec)
+	ns := len(T1Schedulers)
+	// Materialize each topology's instance once; its scheduler cells
+	// share it inline instead of rebuilding topology + workload per
+	// cell.
+	instances := make([]*coflow.Instance, len(T1Specs))
+	for ti, topoSpec := range T1Specs {
+		c.logf("Figure T1: topology %s", topoSpec)
+		in, err := spec.Spec{
+			Topology:  topoSpec,
+			Scheduler: T1Schedulers[0], // never run; Materialize only needs the model
+			Model:     spec.ModelSingle,
+			Workload: &spec.Workload{
+				Kind:             specKind(workload.FB),
+				Coflows:          c.SingleCoflows,
+				Seed:             stats.SubSeed(c.Seed, 0x701+uint64(ti)),
+				MeanInterarrival: c.MeanInterarrival,
+			},
+		}.Materialize()
 		if err != nil {
-			return Row{}, fmt.Errorf("T1 %s: %w", spec, err)
+			return nil, fmt.Errorf("T1 %s: %w", topoSpec, err)
 		}
-		in, err := workload.Generate(workload.Config{
-			Kind:             workload.FB,
-			Graph:            top.Graph,
-			NumCoflows:       c.SingleCoflows,
-			Seed:             stats.SubSeed(c.Seed, 0x701+uint64(i)),
-			MeanInterarrival: c.MeanInterarrival,
-			AssignPaths:      true,
-			Endpoints:        top.Endpoints,
-		})
-		if err != nil {
-			return Row{}, fmt.Errorf("T1 %s: %w", spec, err)
-		}
-		row := Row{Label: spec, Values: map[string]float64{}}
-		var bound float64
-		for _, name := range T1Schedulers {
-			r, err := engine.Schedule(context.Background(), name, in, coflow.SinglePath, engine.Options{
+		instances[ti] = in
+	}
+	at := func(i int) spec.Spec {
+		ti, si := i/ns, i%ns
+		return spec.Spec{
+			Instance:  instances[ti],
+			Model:     spec.ModelSingle,
+			Scheduler: T1Schedulers[si],
+			Options: spec.Options{
 				MaxSlots: c.MaxSlots,
 				Trials:   c.Trials,
-				Seed:     stats.SubSeed(c.Seed, 0x71A+uint64(i)),
+				Seed:     stats.SubSeed(c.Seed, 0x71A+uint64(ti)),
 				Workers:  1, // cells already fan out; keep trials serial
-			})
-			if err != nil {
-				return Row{}, fmt.Errorf("T1 %s (%s): %w", spec, name, err)
-			}
-			// The heuristic runs first and its time-indexed LP bound is
-			// the common denominator; Jahanjou's interval bound differs.
+			},
+		}
+	}
+	reports := make([]*spec.RunReport, len(T1Specs)*ns)
+	for i, cell := range spec.Stream(ctx, len(reports), c.Workers, at) {
+		if cell.Err != nil {
+			return nil, fmt.Errorf("T1 %s (%s): %w", T1Specs[i/ns], T1Schedulers[i%ns], cell.Err)
+		}
+		reports[i] = cell.Report
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(T1Specs))
+	for ti, topoSpec := range T1Specs {
+		row := Row{Label: topoSpec, Values: map[string]float64{}}
+		var bound float64
+		for si, name := range T1Schedulers {
+			r := reports[ti*ns+si]
+			// The heuristic's time-indexed LP bound is the common
+			// denominator; Jahanjou's interval bound differs.
 			if name == engine.NameHeuristic && r.HasLowerBound {
 				bound = r.LowerBound
 			}
 			row.Values[name] = r.Weighted
 		}
 		if bound <= 0 {
-			return Row{}, fmt.Errorf("T1 %s: no LP lower bound", spec)
+			return nil, fmt.Errorf("T1 %s: no LP lower bound", topoSpec)
 		}
 		for name, v := range row.Values {
 			row.Values[name] = v / bound
 		}
-		return row, nil
-	})
-	if err != nil {
-		return nil, err
+		rows[ti] = row
 	}
 	res.Rows = rows
 	return res, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -17,7 +18,7 @@ func t1Config(workers int) Config {
 }
 
 func TestFigureT1Small(t *testing.T) {
-	res, err := FigureT1(t1Config(0))
+	res, err := FigureT1(context.Background(), t1Config(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +43,11 @@ func TestFigureT1Small(t *testing.T) {
 }
 
 func TestFigureT1DeterministicAcrossWorkers(t *testing.T) {
-	a, err := FigureT1(t1Config(1))
+	a, err := FigureT1(context.Background(), t1Config(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := FigureT1(t1Config(4))
+	b, err := FigureT1(context.Background(), t1Config(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Size normalizes a requested worker count: values ≤ 0 mean
@@ -109,4 +110,78 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 		return struct{}{}, fn(i)
 	})
 	return err
+}
+
+// Stream runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines and calls yield with each (index, result) pair as it
+// completes — in completion order, not index order — always from the
+// calling goroutine. Unlike Map, results are handed off one at a time
+// instead of collected: a stream over n items holds O(workers) results
+// in memory, never O(n), which is what lets 100k-cell sweeps stream.
+//
+// Stream returns when every item has been yielded, when yield returns
+// false, or when ctx is cancelled, whichever comes first. On early
+// exit no new items start and in-flight results are discarded. With
+// workers == 1 items run serially in index order on the calling
+// goroutine, so single-worker streams are deterministic end to end.
+func Stream[T any](ctx context.Context, n, workers int, fn func(i int) T, yield func(i int, v T) bool) {
+	if n <= 0 {
+		return
+	}
+	workers = Size(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			v := fn(i)
+			if ctx.Err() != nil || !yield(i, v) {
+				return
+			}
+		}
+		return
+	}
+	type item struct {
+		i int
+		v T
+	}
+	var (
+		next atomic.Int64
+		stop = make(chan struct{})
+		out  = make(chan item)
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				select {
+				case out <- item{i, fn(i)}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(out) }()
+	for it := range out {
+		// Check cancellation before yielding, so no result computed
+		// after the cancel point reaches the caller.
+		if ctx.Err() != nil || !yield(it.i, it.v) {
+			close(stop)
+			for range out { // unblock senders until the pool drains
+			}
+			return
+		}
+	}
 }

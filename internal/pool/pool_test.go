@@ -82,3 +82,80 @@ func TestSize(t *testing.T) {
 		t.Fatalf("Size(-1,0) = %d", s)
 	}
 }
+
+// TestStreamYieldsAll: every index arrives exactly once, from the
+// calling goroutine, at several worker counts.
+func TestStreamYieldsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		seen := make([]bool, 100)
+		Stream(context.Background(), len(seen), workers, func(i int) int { return i * i }, func(i, v int) bool {
+			if v != i*i {
+				t.Fatalf("workers=%d: fn(%d) arrived as %d", workers, i, v)
+			}
+			if seen[i] {
+				t.Fatalf("workers=%d: index %d yielded twice", workers, i)
+			}
+			seen[i] = true
+			return true
+		})
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("workers=%d: index %d never yielded", workers, i)
+			}
+		}
+	}
+}
+
+// TestStreamSerialOrder: one worker streams in index order.
+func TestStreamSerialOrder(t *testing.T) {
+	last := -1
+	Stream(context.Background(), 50, 1, func(i int) int { return i }, func(i, v int) bool {
+		if i != last+1 {
+			t.Fatalf("index %d after %d", i, last)
+		}
+		last = i
+		return true
+	})
+	if last != 49 {
+		t.Fatalf("stopped at %d", last)
+	}
+}
+
+// TestStreamEarlyStop: yield returning false stops new work; at most
+// consumed+workers items ever run.
+func TestStreamEarlyStop(t *testing.T) {
+	var ran atomic.Int64
+	const workers, consume = 4, 10
+	got := 0
+	Stream(context.Background(), 100000, workers, func(i int) int {
+		ran.Add(1)
+		return i
+	}, func(i, v int) bool {
+		got++
+		return got < consume
+	})
+	if got != consume {
+		t.Fatalf("yielded %d, want %d", got, consume)
+	}
+	if r := ran.Load(); r > consume+2*workers {
+		t.Fatalf("ran %d items after early stop; want ≤ %d", r, consume+2*workers)
+	}
+}
+
+// TestStreamCancel: a cancelled context ends the stream without
+// running the whole range.
+func TestStreamCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	got := 0
+	Stream(ctx, 100000, 4, func(i int) int { ran.Add(1); return i }, func(i, v int) bool {
+		if got++; got == 5 {
+			cancel()
+		}
+		return true
+	})
+	if r := ran.Load(); r >= 100000 {
+		t.Fatal("cancelled stream ran the full range")
+	}
+}

@@ -1,0 +1,76 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Presets are named SweepSpecs for the paper's evaluation grids, so
+// "the Figure 9 sweep" is one registry lookup away from the CLI
+// (-spec preset:figure9) and the service (POST /v1/sweep). They cover
+// the figure's scheduler × workload grid at default scale; the exact
+// figure tables (which add LP-only series and ratio normalizations on
+// top of these cells) come from internal/experiments, which executes
+// its cells through the same Stream.
+var presets = map[string]func() SweepSpec{
+	// Figures 9/10: every single-path engine scheduler across the
+	// four workloads on the paper's two WANs.
+	"figure9": func() SweepSpec {
+		return SweepSpec{
+			Base:       Spec{Model: ModelSingle, Options: Options{Seed: 2019}},
+			Schedulers: []string{"heuristic", "stretch", "jahanjou", "sincronia-greedy"},
+			Topologies: []string{"swan"},
+			Workloads:  KindNames(),
+		}
+	},
+	"figure10": func() SweepSpec {
+		return SweepSpec{
+			Base:       Spec{Model: ModelSingle, Options: Options{Seed: 2019}},
+			Schedulers: []string{"heuristic", "stretch", "jahanjou", "sincronia-greedy"},
+			Topologies: []string{"gscale"},
+			Workloads:  KindNames(),
+		}
+	},
+	// Figure O1: the online policy × workload × load grid on SWAN.
+	"figure-o1": func() SweepSpec {
+		return SweepSpec{
+			Base:      Spec{Model: ModelSingle, Options: Options{Seed: 2019}},
+			Policies:  []string{"fifo", "las", "fair", "sincronia-online", "epoch:sincronia-greedy"},
+			Workloads: KindNames(),
+			Loads:     []float64{0.25, 0.5, 1.0, 2.0},
+		}
+	},
+	// Figure T1: every single-path scheduler across the generated
+	// topology families.
+	"figure-t1": func() SweepSpec {
+		return SweepSpec{
+			Base:       Spec{Model: ModelSingle, Options: Options{Seed: 2019}},
+			Schedulers: []string{"heuristic", "stretch", "jahanjou", "sincronia-greedy"},
+			Topologies: []string{
+				"big-switch:n=6", "star:n=6", "line:n=6", "ring:n=6",
+				"fat-tree:k=4", "leaf-spine:leaves=4,spines=2,hosts=2",
+				"random-regular:n=8,d=3,seed=3", "erdos-renyi:n=8,p=0.3,seed=5,hetero=1",
+			},
+			Workloads: []string{"fb"},
+		}
+	},
+}
+
+// PresetNames lists the registered sweep presets, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named sweep; unknown names list the registry.
+func Preset(name string) (SweepSpec, error) {
+	f, ok := presets[name]
+	if !ok {
+		return SweepSpec{}, fmt.Errorf("spec: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return f(), nil
+}

@@ -1,0 +1,180 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coflow"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Model names accepted by Spec.Model.
+const (
+	ModelSingle = "single"
+	ModelFree   = "free"
+	ModelMulti  = "multi"
+)
+
+// ModelNames lists the transmission model names.
+func ModelNames() []string { return []string{ModelSingle, ModelFree, ModelMulti} }
+
+// ParseModel resolves a model name.
+func ParseModel(s string) (coflow.Model, error) {
+	switch strings.ToLower(s) {
+	case ModelSingle:
+		return coflow.SinglePath, nil
+	case ModelFree:
+		return coflow.FreePath, nil
+	case ModelMulti:
+		return coflow.MultiPath, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown model %q (have %v)", s, ModelNames())
+	}
+}
+
+// ModelName is ParseModel's inverse.
+func ModelName(m coflow.Model) string {
+	switch m {
+	case coflow.SinglePath:
+		return ModelSingle
+	case coflow.FreePath:
+		return ModelFree
+	case coflow.MultiPath:
+		return ModelMulti
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// KindNames lists the workload kind names.
+func KindNames() []string { return []string{"bigbench", "tpcds", "tpch", "fb"} }
+
+// ParseKind resolves a workload kind name.
+func ParseKind(s string) (workload.Kind, error) {
+	switch strings.ToLower(s) {
+	case "bigbench":
+		return workload.BigBench, nil
+	case "tpcds", "tpc-ds":
+		return workload.TPCDS, nil
+	case "tpch", "tpc-h":
+		return workload.TPCH, nil
+	case "fb", "facebook":
+		return workload.FB, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown workload %q (have %v)", s, KindNames())
+	}
+}
+
+// ParseTopology resolves a topology selector: the two hand-coded WANs
+// by name, or any generator spec from internal/topo ("fat-tree:k=4",
+// …). The returned Topology carries the endpoint set workload flows
+// are restricted to. Topologies with fewer than two endpoints are
+// rejected here — generating a workload on them would have no valid
+// source/sink pair.
+func ParseTopology(s string) (*topo.Topology, error) {
+	var top *topo.Topology
+	switch strings.ToLower(s) {
+	case "swan":
+		top = &topo.Topology{Spec: "swan", Family: "swan", Graph: graph.SWAN(1)}
+	case "gscale", "g-scale":
+		top = &topo.Topology{Spec: "gscale", Family: "gscale", Graph: graph.GScale(1)}
+	default:
+		t, err := topo.New(s)
+		if err != nil {
+			return nil, err
+		}
+		top = t
+	}
+	n := len(top.Endpoints)
+	if n == 0 {
+		n = top.Graph.NumNodes()
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("topology %q exposes %d workload endpoint(s); flows need at least 2 (source ≠ sink) — pick a larger topology", s, n)
+	}
+	return top, nil
+}
+
+// TopologyNames lists the selectable topology names: the two
+// hand-coded WANs plus every generator family.
+func TopologyNames() []string {
+	return append([]string{"swan", "gscale"}, topo.Families()...)
+}
+
+// SchedulerNames lists the offline engine registry.
+func SchedulerNames() []string { return engine.Names() }
+
+// PolicyNames lists the online sim policy registry.
+func PolicyNames() []string { return sim.Names() }
+
+// CheckScheduler validates one engine scheduler name against the
+// registry and the model; errors list the registry.
+func CheckScheduler(name string, mode coflow.Model) error {
+	s, err := engine.Get(name)
+	if err != nil {
+		return err
+	}
+	if !s.Supports(mode) {
+		return fmt.Errorf("scheduler %q does not support the %v model", name, mode)
+	}
+	return nil
+}
+
+// CheckSchedulerExists validates the name against the engine registry
+// without a model constraint; sweeps use it because the model may
+// itself be a sweep axis, with support checked per cell.
+func CheckSchedulerExists(name string) error {
+	_, err := engine.Get(name)
+	return err
+}
+
+// CheckPolicy validates one sim policy name against the registry
+// (including epoch:<scheduler> adapters); errors list the registry.
+func CheckPolicy(name string) error {
+	_, err := sim.New(name, sim.Options{})
+	return err
+}
+
+// ResolveSchedulers expands a scheduler selector ("all" or a
+// comma-separated list) into validated engine registry names, the
+// shared logic behind coflowsim -scheduler and sweep axes. Unknown
+// names fail immediately with the full registry listing, and
+// explicitly requested schedulers that don't support the model are
+// rejected rather than silently skipped; "all" keeps only supporting
+// ones.
+func ResolveSchedulers(selector string, mode coflow.Model) ([]string, error) {
+	if selector == "all" {
+		return engine.NamesSupporting(mode), nil
+	}
+	var names []string
+	for _, name := range strings.Split(selector, ",") {
+		name = strings.TrimSpace(name)
+		if err := CheckScheduler(name, mode); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// ResolvePolicies expands a policy selector ("", "all", or a
+// comma-separated list) into validated sim policy names; unknown
+// names fail with the policy registry listing.
+func ResolvePolicies(selector string) ([]string, error) {
+	if selector == "" || selector == "all" {
+		return sim.Names(), nil
+	}
+	var names []string
+	for _, name := range strings.Split(selector, ",") {
+		name = strings.TrimSpace(name)
+		if err := CheckPolicy(name); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

@@ -1,0 +1,158 @@
+package spec
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/validate"
+)
+
+// RunReport is the unified outcome of one Spec run, offline or
+// online: the objective aggregates every harness tabulates, per-coflow
+// completions, the LP bound when the algorithm solves one, and the
+// validation outcome. It serializes to JSON — coflowsim -spec prints
+// it and coflowd POST /v1/run returns it, byte-for-byte the same for
+// the same spec.
+type RunReport struct {
+	// Spec echoes the normalized spec the run executed (inline
+	// instances are elided from the echo to keep reports small).
+	Spec Spec `json:"spec"`
+	// Kind is "offline" or "online".
+	Kind string `json:"kind"`
+	// Scheduler / Policy name the run used (one is set, per Kind).
+	Scheduler string `json:"scheduler,omitempty"`
+	Policy    string `json:"policy,omitempty"`
+	// Model is the transmission model the run scheduled in.
+	Model string `json:"model"`
+	// Coflows and Flows size the instance that actually ran.
+	Coflows int `json:"coflows"`
+	Flows   int `json:"flows"`
+	// Weighted is Σ w_j C_j, Total is Σ C_j.
+	Weighted float64 `json:"weighted"`
+	Total    float64 `json:"total"`
+	// AvgCCT is the mean response time mean_j (C_j − r_j) and Makespan
+	// is max_j C_j (online runs; offline Makespan is the latest
+	// completion).
+	AvgCCT   float64 `json:"avg_cct,omitempty"`
+	Makespan float64 `json:"makespan,omitempty"`
+	// LowerBound is the LP lower bound when the algorithm solves one.
+	LowerBound    float64 `json:"lower_bound,omitempty"`
+	HasLowerBound bool    `json:"has_lower_bound,omitempty"`
+	// Completions holds per-coflow completion times in slot units.
+	Completions []float64 `json:"completions"`
+	// Replans and Events report online simulator counters.
+	Replans int `json:"replans,omitempty"`
+	Events  int `json:"events,omitempty"`
+	// Extra carries per-scheduler metrics ("best-lambda", …).
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Validated reports that Spec.Validate was set and the
+	// internal/validate oracle found no violation (a violation fails
+	// the run instead).
+	Validated bool `json:"validated,omitempty"`
+
+	// Engine and Sim carry the full underlying results for library
+	// callers (exactly one is non-nil, per Kind). They are not part of
+	// the wire format.
+	Engine *engine.Result `json:"-"`
+	Sim    *sim.Result    `json:"-"`
+}
+
+// Run executes one Spec: normalize and validate it, materialize the
+// instance (inline, file, or generated on the topology), dispatch to
+// the offline engine or the online simulator, optionally replay the
+// result through the independent oracle, and fold everything into one
+// RunReport. Run is deterministic in the normalized Spec at any
+// Options.Workers, and ctx cancels it between units of work.
+func Run(ctx context.Context, s Spec) (*RunReport, error) {
+	ns, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	in, err := ns.instance()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := ParseModel(ns.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &RunReport{
+		Spec:      ns,
+		Scheduler: ns.Scheduler,
+		Policy:    ns.Policy,
+		Model:     ns.Model,
+		Coflows:   len(in.Coflows),
+		Flows:     in.NumFlows(),
+	}
+	rep.Spec.Instance = nil // keep report echoes small
+
+	if ns.Scheduler != "" {
+		rep.Kind = "offline"
+		res, err := engine.Schedule(ctx, ns.Scheduler, in, mode, engine.Options{
+			MaxSlots:          ns.Options.MaxSlots,
+			Trials:            ns.Options.Trials,
+			Seed:              ns.Options.Seed,
+			Workers:           ns.Options.Workers,
+			DisableCompaction: ns.Options.DisableCompaction,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Engine = res
+		rep.Weighted = res.Weighted
+		rep.Total = res.Total
+		rep.Completions = res.Completions
+		rep.LowerBound = res.LowerBound
+		rep.HasLowerBound = res.HasLowerBound
+		rep.Extra = res.Extra
+		for _, c := range res.Completions {
+			if c > rep.Makespan {
+				rep.Makespan = c
+			}
+		}
+		if ns.Validate {
+			if err := validate.Result(in, res).Err(); err != nil {
+				return nil, fmt.Errorf("spec: scheduler %s failed validation: %w", ns.Scheduler, err)
+			}
+			rep.Validated = true
+		}
+		return rep, nil
+	}
+
+	rep.Kind = "online"
+	res, err := sim.Simulate(ctx, in, sim.Options{
+		Policy:      ns.Policy,
+		Epoch:       ns.Options.Epoch,
+		MaxSlots:    ns.Options.MaxSlots,
+		Trials:      ns.Options.Trials,
+		Seed:        ns.Options.Seed,
+		Workers:     ns.Options.Workers,
+		MaxEvents:   ns.Options.MaxEvents,
+		Clairvoyant: ns.Options.Clairvoyant,
+		CheckEvery:  ns.Options.CheckEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Sim = res
+	rep.Weighted = res.WeightedCCT
+	rep.Total = res.TotalCCT
+	rep.AvgCCT = res.AvgCCT
+	rep.Makespan = res.Makespan
+	rep.Completions = res.Completions
+	rep.Replans = res.Replans
+	rep.Events = res.Events
+	if ns.Validate {
+		if err := validate.SimResult(in, res, ns.Options.Clairvoyant).Err(); err != nil {
+			return nil, fmt.Errorf("spec: policy %s failed validation: %w", ns.Policy, err)
+		}
+		rep.Validated = true
+	}
+	return rep, nil
+}

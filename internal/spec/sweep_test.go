@@ -1,0 +1,273 @@
+package spec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// tinySweep is a cheap LP-free grid used by the streaming tests.
+func tinySweep(workers int, seeds int) SweepSpec {
+	sw := SweepSpec{
+		Base:       Spec{Topology: "big-switch:n=3", Workload: &Workload{Coflows: 2}},
+		Schedulers: []string{"sincronia-greedy"},
+		Policies:   []string{"fifo"},
+		Workers:    workers,
+	}
+	for i := 0; i < seeds; i++ {
+		sw.Seeds = append(sw.Seeds, int64(i))
+	}
+	return sw
+}
+
+// TestSweepValidatesUpfront: axis typos fail before any cell runs,
+// listing the registries.
+func TestSweepValidatesUpfront(t *testing.T) {
+	cases := []struct {
+		name string
+		sw   SweepSpec
+		sub  string
+	}{
+		{"scheduler", SweepSpec{Schedulers: []string{"nope"}}, "unknown scheduler"},
+		{"policy", SweepSpec{Policies: []string{"nope"}}, "unknown policy"},
+		{"model", SweepSpec{Schedulers: []string{"stretch"}, Models: []string{"warp"}}, "unknown model"},
+		{"topology", SweepSpec{Schedulers: []string{"stretch"}, Topologies: []string{"blob:n=2"}}, "unknown family"},
+		{"workload", SweepSpec{Schedulers: []string{"stretch"}, Workloads: []string{"hive"}}, "unknown workload"},
+		{"load", SweepSpec{Schedulers: []string{"stretch"}, Loads: []float64{-1}}, "load"},
+		{"empty", SweepSpec{}, "nothing to run"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			executed := int32(0)
+			testCellHook = func(int) { atomic.AddInt32(&executed, 1) }
+			defer func() { testCellHook = nil }()
+			_, _, err := Sweep(context.Background(), tc.sw)
+			if err == nil || !strings.Contains(err.Error(), tc.sub) {
+				t.Fatalf("err %v; want substring %q", err, tc.sub)
+			}
+			if executed != 0 {
+				t.Fatalf("%d cells ran before validation failed", executed)
+			}
+		})
+	}
+}
+
+// TestSweepStreamsWithoutMaterializing runs a 1000-cell grid and
+// checks (a) every cell arrives exactly once with a report, (b) cell
+// contents are identical at any worker count, and (c) the expansion is
+// lazy: breaking out of the stream early executes at most
+// consumed+workers cells, not the grid.
+func TestSweepStreamsWithoutMaterializing(t *testing.T) {
+	const cells = 1000
+	sw := tinySweep(1, cells/2) // seeds × {scheduler, policy} = 1000 cells
+
+	// Serial pass: the reference content, arriving in index order.
+	n, seq, err := Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cells {
+		t.Fatalf("count = %d, want %d", n, cells)
+	}
+	ref := make(map[int]float64, n)
+	last := -1
+	for i, cell := range seq {
+		if cell.Err != nil {
+			t.Fatalf("cell %d: %v", i, cell.Err)
+		}
+		if i <= last {
+			t.Fatalf("single-worker stream out of order: %d after %d", i, last)
+		}
+		last = i
+		ref[i] = cell.Report.Weighted
+	}
+	if len(ref) != cells {
+		t.Fatalf("yielded %d cells, want %d", len(ref), cells)
+	}
+
+	// Parallel pass: completion order may differ; contents must not.
+	sw.Workers = 8
+	_, seq, err = Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool, cells)
+	for i, cell := range seq {
+		if cell.Err != nil {
+			t.Fatalf("cell %d: %v", i, cell.Err)
+		}
+		if seen[i] {
+			t.Fatalf("cell %d yielded twice", i)
+		}
+		seen[i] = true
+		if cell.Report.Weighted != ref[i] {
+			t.Fatalf("cell %d: weighted %g at 8 workers vs %g serial",
+				i, cell.Report.Weighted, ref[i])
+		}
+	}
+	if len(seen) != cells {
+		t.Fatalf("yielded %d cells, want %d", len(seen), cells)
+	}
+
+	// Laziness: consume 10 of 1000 and stop. Only the consumed cells
+	// plus at most one in-flight cell per worker may ever execute —
+	// proof the grid is expanded on demand, not materialized.
+	const workers, consume = 4, 10
+	sw.Workers = workers
+	executed := int32(0)
+	testCellHook = func(int) { atomic.AddInt32(&executed, 1) }
+	defer func() { testCellHook = nil }()
+	_, seq, err = Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, cell := range seq {
+		if cell.Err != nil {
+			t.Fatal(cell.Err)
+		}
+		if got++; got >= consume {
+			break
+		}
+	}
+	if ex := int(atomic.LoadInt32(&executed)); ex > consume+2*workers {
+		t.Fatalf("early break executed %d cells; a lazy stream should stay ≤ %d",
+			ex, consume+2*workers)
+	}
+}
+
+// TestSweepCancellationMidSweep cancels the context partway through
+// and requires the stream to stop promptly without running the rest
+// of the grid.
+func TestSweepCancellationMidSweep(t *testing.T) {
+	const cells = 400
+	sw := tinySweep(4, cells/2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	executed := int32(0)
+	testCellHook = func(int) { atomic.AddInt32(&executed, 1) }
+	defer func() { testCellHook = nil }()
+	n, seq, err := Sweep(ctx, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, cell := range seq {
+		_ = cell
+		if got++; got == 20 {
+			cancel()
+		}
+	}
+	if got >= n {
+		t.Fatalf("cancelled sweep still yielded all %d cells", got)
+	}
+	if ex := int(atomic.LoadInt32(&executed)); ex >= cells {
+		t.Fatalf("cancelled sweep still executed all %d cells", ex)
+	}
+}
+
+// TestSweepPerCellErrorsStream: a cell whose spec fails (terra is
+// free-path-only) streams an error cell; the rest of the grid still
+// runs.
+func TestSweepPerCellErrorsStream(t *testing.T) {
+	sw := SweepSpec{
+		Base:       Spec{Topology: "big-switch:n=3", Workload: &Workload{Coflows: 2}},
+		Schedulers: []string{"sincronia-greedy", "terra"}, // terra: free path only
+		Models:     []string{"single"},
+	}
+	_, seq, err := Sweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok, bad int
+	for _, cell := range seq {
+		if cell.Err != nil {
+			if !strings.Contains(cell.Error, "does not support") {
+				t.Fatalf("unexpected cell error: %s", cell.Error)
+			}
+			bad++
+		} else {
+			ok++
+		}
+	}
+	if ok != 1 || bad != 1 {
+		t.Fatalf("ok=%d bad=%d, want 1/1", ok, bad)
+	}
+}
+
+// TestSweepAtDeterministic: cell specs are pure functions of their
+// index — decode a few cells twice and compare.
+func TestSweepAtDeterministic(t *testing.T) {
+	sw := SweepSpec{
+		Base:       Spec{Workload: &Workload{Coflows: 2}},
+		Schedulers: []string{"heuristic", "sincronia-greedy"},
+		Topologies: []string{"swan", "line:n=4"},
+		Workloads:  []string{"fb", "tpch"},
+		Loads:      []float64{0.5, 1},
+		Seeds:      []int64{3, 4, 5},
+	}
+	c, err := sw.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.count()
+	if want := 2 * 2 * 2 * 2 * 3; n != want {
+		t.Fatalf("count = %d, want %d", n, want)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		a := fmt.Sprintf("%+v %+v %+v", c.at(i), c.at(i).Workload, c.at(i).Options)
+		if seen[a] {
+			t.Fatalf("cell %d duplicates another cell: %s", i, a)
+		}
+		seen[a] = true
+	}
+	// The base must never be mutated by axis setters.
+	if sw.Base.Workload.Kind != "" || sw.Base.Workload.Seed != 0 {
+		t.Fatalf("sweep expansion mutated the base: %+v", sw.Base.Workload)
+	}
+}
+
+// TestSweepAllSchedulersWithModelsAxis: "all" is model-dependent, so
+// combining it with a models axis must fail upfront instead of
+// streaming unsupported-model error cells.
+func TestSweepAllSchedulersWithModelsAxis(t *testing.T) {
+	_, _, err := Sweep(context.Background(), SweepSpec{
+		Schedulers: []string{"all"},
+		Models:     []string{"free", "single"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("want ambiguity error, got %v", err)
+	}
+	// Against a single model it still resolves.
+	n, _, err := Sweep(context.Background(), SweepSpec{
+		Schedulers: []string{"all"},
+		Models:     []string{"free"},
+	})
+	if err != nil || n == 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+// TestSweepPoliciesWithModelsAxis: policies are single-path; a models
+// axis containing another model is rejected upfront rather than
+// streaming duplicate single-path cells under a "free" label.
+func TestSweepPoliciesWithModelsAxis(t *testing.T) {
+	_, _, err := Sweep(context.Background(), SweepSpec{
+		Policies: []string{"fifo"},
+		Models:   []string{"single", "free"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "single path") {
+		t.Fatalf("want single-path ambiguity error, got %v", err)
+	}
+	// An all-single models axis stays fine.
+	n, _, err := Sweep(context.Background(), SweepSpec{
+		Policies: []string{"fifo"},
+		Models:   []string{"single"},
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}

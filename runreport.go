@@ -1,0 +1,40 @@
+package repro
+
+import (
+	"repro/internal/spec"
+)
+
+// RunReport is the unified outcome of one Spec run, offline or
+// online: objective aggregates, per-coflow completions, the LP bound
+// when the algorithm solves one, and the validation outcome. Library
+// callers reach the full underlying results through the Engine
+// (offline) and Sim (online) fields; the JSON form carries the
+// summary only and is byte-identical between coflowsim -spec and
+// coflowd POST /v1/run for the same spec.
+type RunReport = spec.RunReport
+
+// Registry is the self-describing catalog of everything a Spec can
+// name, as served by coflowd GET /v1/registry.
+type Registry struct {
+	Schedulers []string `json:"schedulers"`
+	Policies   []string `json:"policies"`
+	Topologies []string `json:"topologies"`
+	Workloads  []string `json:"workloads"`
+	Models     []string `json:"models"`
+	Presets    []string `json:"presets"`
+}
+
+// Registries returns the live registry catalog: engine schedulers,
+// sim policies (epoch adapters included), topology families plus the
+// two hand-coded WANs, workload kinds, transmission models, and sweep
+// presets.
+func Registries() Registry {
+	return Registry{
+		Schedulers: spec.SchedulerNames(),
+		Policies:   spec.PolicyNames(),
+		Topologies: spec.TopologyNames(),
+		Workloads:  spec.KindNames(),
+		Models:     spec.ModelNames(),
+		Presets:    spec.PresetNames(),
+	}
+}

@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"context"
+	"iter"
+
+	"repro/internal/spec"
+)
+
+// The declarative front door (internal/spec): one Spec describes an
+// experiment — topology, workload, transmission model, and the
+// algorithm (offline scheduler or online policy) — and Run executes
+// it into a unified RunReport. SweepSpec crosses Spec axes into a
+// grid whose cells stream back as they finish. The same JSON document
+// drives the library (Run), the CLI (coflowsim -spec), and the HTTP
+// service (coflowd POST /v1/run) to the same report.
+type (
+	// Spec declares one experiment. See internal/spec for field docs;
+	// zero-value fields default to an FB workload of 8 coflows on SWAN
+	// in the single path model.
+	Spec = spec.Spec
+	// SpecWorkload parameterizes Spec instance generation (or names an
+	// instance file).
+	SpecWorkload = spec.Workload
+	// SpecOptions are the algorithm knobs of a Spec — the union of the
+	// legacy SchedOptions and SimOptions.
+	SpecOptions = spec.Options
+	// SweepSpec crosses a base Spec with axis lists (schedulers ×
+	// policies × models × topologies × workloads × loads × seeds).
+	SweepSpec = spec.SweepSpec
+	// SweepCell is one streamed sweep result: index, cell spec, and
+	// report or per-cell error.
+	SweepCell = spec.Cell
+)
+
+// Run executes one Spec and returns its unified report. It is
+// deterministic in the normalized Spec at any Options.Workers, and
+// ctx cancels it between units of work. Exactly one of Spec.Scheduler
+// (offline) and Spec.Policy (online) must be set; every name is
+// validated against the live registries before any work runs, with
+// errors listing what exists.
+func Run(ctx context.Context, s Spec) (*RunReport, error) { return spec.Run(ctx, s) }
+
+// Sweep validates sw and streams its cells as they finish, fanned
+// over a bounded worker pool. The grid is expanded lazily from cell
+// indices — a 100k-cell sweep holds O(workers) results in memory, not
+// O(cells) — and per-cell errors stream back without aborting the
+// rest. Breaking out of the range (or cancelling ctx) stops
+// scheduling new cells. The returned int is the total cell count.
+func Sweep(ctx context.Context, sw SweepSpec) (int, iter.Seq2[int, *SweepCell], error) {
+	return spec.Sweep(ctx, sw)
+}
+
+// ParseSpec decodes a JSON document into a Spec or a SweepSpec
+// (exactly one of the two results is non-nil). Sweeps are recognized
+// by their envelope fields ("base" or any axis list); unknown fields
+// are rejected so typos fail loudly.
+func ParseSpec(data []byte) (*Spec, *SweepSpec, error) { return spec.Parse(data) }
+
+// SweepPresets lists the named sweeps shipped with the repository
+// (the paper's figure grids: "figure9", "figure10", "figure-o1",
+// "figure-t1").
+func SweepPresets() []string { return spec.PresetNames() }
+
+// SweepPreset returns the named sweep; unknown names list the
+// registry.
+func SweepPreset(name string) (SweepSpec, error) { return spec.Preset(name) }
