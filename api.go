@@ -244,6 +244,7 @@ func Simulate(ctx context.Context, inst *Instance, opt SimOptions) (*SimResult, 
 			Clairvoyant: opt.Clairvoyant,
 			CheckEvery:  opt.CheckEvery,
 			MaxEvents:   opt.MaxEvents,
+			WarmLP:      opt.WarmLP,
 		},
 	})
 	if err != nil {

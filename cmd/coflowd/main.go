@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -48,9 +49,11 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing specs (the bounded worker pool)")
 		cacheN  = flag.Int("cache", 256, "max cached run reports, keyed by normalized spec (0 disables)")
 		cacheMB = flag.Int("cache-mb", 64, "max total megabytes of cached reports")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	srv := newServer(*workers, *cacheN)
+	srv.pprof = *pprofOn
 	srv.cache.maxBytes = int64(*cacheMB) << 20
 	log.Printf("coflowd: listening on %s (workers=%d, cache=%d entries / %d MB)", *addr, *workers, *cacheN, *cacheMB)
 	hs := &http.Server{
@@ -77,6 +80,7 @@ const maxBodyBytes = 64 << 20
 type server struct {
 	sem   chan struct{}
 	cache *reportCache
+	pprof bool // mount /debug/pprof/ (opt-in: profiling is not for open ports)
 }
 
 func newServer(workers, cacheEntries int) *server {
@@ -97,6 +101,15 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.pprof {
+		// net/http/pprof registers on DefaultServeMux in its init;
+		// mirror those handlers here so they only exist when asked for.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -58,6 +58,10 @@
 // previous -bench-out content); a stable metric regressing beyond
 // -bench-tol exits non-zero, while a missing baseline just records the
 // first report.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the
+// selected action (most usefully -bench) for offline analysis with
+// `go tool pprof`.
 package main
 
 import (
@@ -68,6 +72,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -124,8 +130,18 @@ func main() {
 		benchOut      = flag.String("bench-out", "BENCH_sim.json", "output report path for -bench")
 		benchBaseline = flag.String("bench-baseline", "", "baseline report to compare against (default: the -bench-out file's previous content)")
 		benchTol      = flag.Float64("bench-tol", 0.25, "relative regression tolerance for -bench (events/sec drop, allocs/op growth)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stop0, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop0
+	defer stopProfiles()
 
 	// Interrupts cancel the run between units of work (figure cells,
 	// sweep cells, Stretch trials, benchmark cells).
@@ -222,8 +238,54 @@ func main() {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "coflowsim:", err)
 	os.Exit(1)
+}
+
+// stopProfiles flushes any active profiles; fatal calls it because
+// os.Exit skips deferred calls.
+var stopProfiles = func() {}
+
+// startProfiles turns on CPU profiling and arranges a heap snapshot
+// at shutdown. The returned stop function is idempotent, so it is
+// safe to both defer it and call it from fatal.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuF = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coflowsim: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "coflowsim: -memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // runSpec executes a declarative Spec or SweepSpec JSON document (or

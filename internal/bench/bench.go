@@ -26,6 +26,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
@@ -148,6 +149,19 @@ type simCase struct {
 	// maxSize gates policies whose per-replan cost is quadratic in the
 	// backlog off the largest tiers.
 	maxSize int
+	// slots, trials, and warmLP configure wrapped engine schedulers
+	// for "epoch:<scheduler>" policies (zero values = sim defaults).
+	slots  int
+	trials int
+	warmLP bool
+}
+
+// options builds the simulator options for this cell.
+func (sc simCase) options(seed int64) sim.Options {
+	return sim.Options{
+		Policy: sc.policy, MaxSlots: sc.slots, Trials: sc.trials,
+		WarmLP: sc.warmLP, Seed: seed,
+	}
 }
 
 // simSuite is the policy × topology matrix the tiers scale over.
@@ -156,6 +170,22 @@ var simSuite = []simCase{
 	{policy: "las", spec: "leaf-spine:leaves=8,spines=4,hosts=4", inter: 0.25, maxSize: 1 << 30},
 	{policy: "fair", spec: "big-switch:n=64", inter: 0.25, maxSize: 10000},
 	{policy: "sincronia-online", spec: "swan", inter: 1.0, maxSize: 10000},
+}
+
+// hotPathSuite pins cells at fixed instance sizes regardless of the
+// selected tier, so every harness run (including the 1k CI gate)
+// tracks them: the 10k las/fair floors the incremental allocators
+// bought, and the epoch:stretch cell — one LP re-plan per arrival,
+// with the basis carried between re-plans — that the interval-LP
+// speedup made runnable at 1k coflows. A cell whose name the tier
+// ladder already produced is skipped rather than measured twice.
+var hotPathSuite = []struct {
+	simCase
+	n int
+}{
+	{simCase{policy: "las", spec: "leaf-spine:leaves=8,spines=4,hosts=4", inter: 0.25}, 10000},
+	{simCase{policy: "fair", spec: "big-switch:n=64", inter: 0.25}, 10000},
+	{simCase{policy: "epoch:stretch", spec: "swan", inter: 4.0, slots: 8, trials: 1, warmLP: true}, 1000},
 }
 
 // Run executes the suite for cfg and returns the report. ctx cancels
@@ -200,6 +230,32 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 			rep.Results = append(rep.Results, res)
 		}
+	}
+
+	// Fixed-size hot-path cells (skipping any the ladder already ran).
+	for _, hc := range hotPathSuite {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := hc.n
+		if len(cfg.Sizes) > 0 {
+			// Explicit size overrides (harness tests) shrink these cells
+			// along with the ladder.
+			n = cfg.Sizes[0]
+		}
+		name := fmt.Sprintf("sim/%s/%s/n=%d", hc.policy, hc.spec, n)
+		if rep.Find(name) != nil {
+			continue
+		}
+		in, err := benchInstance(hc.spec, n, hc.inter, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		res, err := runSim(cfg, name, in, hc.options(cfg.Seed), sim.Simulate)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res)
 	}
 
 	// Headline: the historical BenchmarkSimulateFB cell at n=2000,
@@ -325,6 +381,39 @@ func schedulerResults(ctx context.Context, cfg Config) ([]Result, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.SolveLP(lpIn, coflow.SinglePath, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Resolve-after-perturbation: solve once cold, nudge every
+		// demand by ±1%, and measure the warm re-solve from the exported
+		// basis — the epoch re-plan pattern the warm start exists for.
+		{"lp/warm-start/n=8", func(b *testing.B) {
+			opt := core.Options{Grid: core.DefaultGrid(lpIn, coflow.SinglePath, 24)}
+			base, err := core.SolveLP(lpIn, coflow.SinglePath, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if base.Basis == nil {
+				b.Fatal("cold solve exported no basis")
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			pert := *lpIn
+			pert.Coflows = append([]coflow.Coflow(nil), lpIn.Coflows...)
+			for j := range pert.Coflows {
+				pert.Coflows[j].Flows = append([]coflow.Flow(nil), lpIn.Coflows[j].Flows...)
+				for i := range pert.Coflows[j].Flows {
+					pert.Coflows[j].Flows[i].Demand *= 1 + 0.01*rng.NormFloat64()
+				}
+			}
+			wopt := core.Options{
+				Grid:      core.DefaultGrid(&pert, coflow.SinglePath, 24),
+				WarmBasis: base.Basis,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveLP(&pert, coflow.SinglePath, wopt); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"repro/internal/coflow"
+	"repro/internal/lp"
 	"repro/internal/model"
 	"repro/internal/pool"
 	"repro/internal/schedule"
@@ -49,6 +50,11 @@ type Options struct {
 	// Workers bounds the goroutines used for Stretch trials (≤ 0 =
 	// GOMAXPROCS).
 	Workers int
+	// WarmBasis, when non-nil, warm-starts the LP solve from a basis
+	// exported by a previous related solve (Result.Basis). The solver
+	// validates the basis and falls back to a cold start when it does
+	// not fit, so the computed optimum is unaffected.
+	WarmBasis *lp.Basis
 }
 
 // Evaluated is a feasibility-verified schedule with its metrics.
@@ -94,7 +100,7 @@ func SolveLP(inst *coflow.Instance, mode coflow.Model, opt Options) (*model.Solu
 	if err != nil {
 		return nil, err
 	}
-	return l.Solve(opt.Simplex)
+	return l.SolveWarm(opt.Simplex, opt.WarmBasis)
 }
 
 // Heuristic converts the LP solution directly into a schedule — the
@@ -191,6 +197,9 @@ type Result struct {
 	Heuristic  *Evaluated
 	Stretch    *StretchStats // nil if trials == 0 or grid non-uniform
 	Iterations int           // simplex iterations for the LP solve
+	// Basis is the LP's exported optimal basis (nil when not
+	// exportable); feed it to Options.WarmBasis on a related instance.
+	Basis *lp.Basis
 }
 
 // Run executes the complete pipeline: solve the LP, evaluate the λ=1
@@ -206,6 +215,7 @@ func Run(ctx context.Context, inst *coflow.Instance, mode coflow.Model, opt Opti
 		LowerBound: sol.LowerBound,
 		CStar:      sol.CStar,
 		Iterations: sol.Iterations,
+		Basis:      sol.Basis,
 	}
 	if res.Heuristic, err = Heuristic(sol, opt); err != nil {
 		return nil, err

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/coflow"
 	"repro/internal/core"
+	"repro/internal/lp"
 	"repro/internal/schedule"
 )
 
@@ -44,6 +45,10 @@ type Options struct {
 	// DisableCompaction turns off the Section 6.1 idle-slot pass for
 	// schedulers that compact.
 	DisableCompaction bool
+	// WarmBasis warm-starts the LP solve of LP-based schedulers from a
+	// basis exported by a previous related run (Result.Core.Basis).
+	// Non-LP schedulers ignore it; results are unaffected either way.
+	WarmBasis *lp.Basis
 }
 
 // Normalize fills in defaults.

@@ -35,6 +35,7 @@ func runCore(ctx context.Context, inst *coflow.Instance, opt Options, trials int
 		Trials:            trials,
 		Seed:              opt.Seed,
 		Workers:           opt.Workers,
+		WarmBasis:         opt.WarmBasis,
 	}, nil)
 }
 

@@ -146,6 +146,10 @@ type Solution struct {
 	d       []float64
 	iters   int
 	numVars int
+	// Basis is the name-keyed optimal basis, present when the solve
+	// ended Optimal with an exportable basis. Pass it to SolveWarm on a
+	// related model to skip phase 1.
+	Basis *Basis
 }
 
 // Value returns the primal value of v.
@@ -166,6 +170,16 @@ func (s *Solution) X() []float64 { return append([]float64(nil), s.x[:s.numVars]
 // Solve converts the model to standard computational form (adding one
 // slack per inequality row) and runs the simplex solver.
 func (m *Model) Solve(opt simplex.Options) (*Solution, error) {
+	return m.SolveWarm(opt, nil)
+}
+
+// SolveWarm is Solve with an optional warm-start basis from a previous
+// solve of a related model. The basis is remapped by name onto this
+// model's variables and constraints; the solver validates the result
+// and falls back to a cold start when it does not fit, so SolveWarm
+// never returns a worse answer than Solve — only, usually, a faster
+// one.
+func (m *Model) SolveWarm(opt simplex.Options, warm *Basis) (*Solution, error) {
 	n := len(m.varNames)
 	mm := len(m.conNames)
 	if n == 0 {
@@ -212,6 +226,9 @@ func (m *Model) Solve(opt simplex.Options) (*Solution, error) {
 		B: append([]float64(nil), m.rhs...),
 		C: c, L: l, U: u,
 	}
+	if warm != nil {
+		opt.WarmStart = m.remapBasis(warm, total)
+	}
 	raw, err := simplex.Solve(prob, opt)
 	if err != nil {
 		return nil, fmt.Errorf("lp: solving %q: %w", m.name, err)
@@ -224,6 +241,7 @@ func (m *Model) Solve(opt simplex.Options) (*Solution, error) {
 		d:       raw.D[:n:n],
 		iters:   raw.Iterations,
 		numVars: n,
+		Basis:   m.exportBasis(raw.Basis),
 	}
 	if m.maximize {
 		for i := range sol.y {

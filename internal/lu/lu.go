@@ -59,6 +59,21 @@ type Factorization struct {
 	pstk  []int // DFS stack (position within column)
 	mark  []bool
 
+	// Transposed adjacency of the factors, built lazily per Factor for
+	// the sparse-RHS transpose solve (see SolveTranspose): uRow lists,
+	// for pivot position k, the pivot columns j > k with U[k,j] ≠ 0;
+	// lRow lists, for pivot position m, the columns k < m whose L column
+	// contains original row p[m].
+	transOK bool
+	uRowPtr []int32
+	uRowCol []int32
+	lRowPtr []int32
+	lRowCol []int32
+	patBuf  []int
+	ordBuf  []int
+	cntBuf  []int
+	qinv    []int
+
 	pivotTol float64
 }
 
@@ -91,6 +106,7 @@ func (f *Factorization) resize(n int) {
 	f.p = grow(f.p, n)
 	f.pinv = grow(f.pinv, n)
 	f.q = grow(f.q, n)
+	f.qinv = grow(f.qinv, n)
 	f.x = growF(f.x, n)
 	f.xi = grow(f.xi, n)
 	f.stack = grow(f.stack, n)
@@ -124,6 +140,7 @@ func (f *Factorization) Factor(m *sparse.Matrix) error {
 	}
 	n := m.Rows
 	f.resize(n)
+	f.transOK = false
 	f.lRowIdx = f.lRowIdx[:0]
 	f.lVal = f.lVal[:0]
 	f.uRowIdx = f.uRowIdx[:0]
@@ -135,18 +152,35 @@ func (f *Factorization) Factor(m *sparse.Matrix) error {
 	}
 
 	// Static column order: increasing nonzero count. Ties broken by
-	// index for determinism.
-	for j := 0; j < n; j++ {
-		f.q[j] = j
-	}
+	// index for determinism — a stable counting sort over the nonzero
+	// counts, producing exactly the (count, index) order the previous
+	// sort.SliceStable produced without the comparison-sort overhead.
 	q := f.q
-	sort.SliceStable(q, func(a, b int) bool {
-		na, nb := m.ColNnz(q[a]), m.ColNnz(q[b])
-		if na != nb {
-			return na < nb
+	maxNnz := 0
+	for j := 0; j < n; j++ {
+		if c := m.ColNnz(j); c > maxNnz {
+			maxNnz = c
 		}
-		return q[a] < q[b]
-	})
+	}
+	cnt := grow(f.cntBuf, maxNnz+2)
+	f.cntBuf = cnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		cnt[m.ColNnz(j)+1]++
+	}
+	for c := 1; c < len(cnt); c++ {
+		cnt[c] += cnt[c-1]
+	}
+	for j := 0; j < n; j++ {
+		c := m.ColNnz(j)
+		q[cnt[c]] = j
+		cnt[c]++
+	}
+	for j := 0; j < n; j++ {
+		f.qinv[q[j]] = j
+	}
 
 	for j := 0; j < n; j++ {
 		c := q[j]
@@ -283,12 +317,162 @@ func (f *Factorization) reach(pattern []int) int {
 	return top
 }
 
+// ensureTranspose builds the row-major adjacency of U and L (pivot
+// coordinates) used by the sparse transpose solve. Rebuilt lazily after
+// each Factor.
+func (f *Factorization) ensureTranspose() {
+	if f.transOK {
+		return
+	}
+	n := f.n
+	if cap(f.uRowPtr) < n+1 {
+		f.uRowPtr = make([]int32, n+1)
+		f.lRowPtr = make([]int32, n+1)
+	}
+	f.uRowPtr = f.uRowPtr[:n+1]
+	f.lRowPtr = f.lRowPtr[:n+1]
+	for i := range f.uRowPtr {
+		f.uRowPtr[i] = 0
+		f.lRowPtr[i] = 0
+	}
+	for _, k := range f.uRowIdx {
+		f.uRowPtr[k+1]++
+	}
+	for _, i := range f.lRowIdx {
+		f.lRowPtr[f.pinv[i]+1]++
+	}
+	for k := 0; k < n; k++ {
+		f.uRowPtr[k+1] += f.uRowPtr[k]
+		f.lRowPtr[k+1] += f.lRowPtr[k]
+	}
+	if cap(f.uRowCol) < len(f.uRowIdx) {
+		f.uRowCol = make([]int32, len(f.uRowIdx))
+	}
+	f.uRowCol = f.uRowCol[:len(f.uRowIdx)]
+	if cap(f.lRowCol) < len(f.lRowIdx) {
+		f.lRowCol = make([]int32, len(f.lRowIdx))
+	}
+	f.lRowCol = f.lRowCol[:len(f.lRowIdx)]
+	next := f.xi // free between solves
+	for k := 0; k < n; k++ {
+		next[k] = int(f.uRowPtr[k])
+	}
+	for j := 0; j < n; j++ {
+		for t := f.uColPtr[j]; t < f.uColPtr[j+1]; t++ {
+			k := f.uRowIdx[t]
+			f.uRowCol[next[k]] = int32(j)
+			next[k]++
+		}
+	}
+	for k := 0; k < n; k++ {
+		next[k] = int(f.lRowPtr[k])
+	}
+	for j := 0; j < n; j++ {
+		for t := f.lColPtr[j]; t < f.lColPtr[j+1]; t++ {
+			m := f.pinv[f.lRowIdx[t]]
+			f.lRowCol[next[m]] = int32(j)
+			next[m]++
+		}
+	}
+	f.transOK = true
+}
+
+// reachGraph is reach over an explicit adjacency (ptr/adj in pivot
+// coordinates): DFS from roots, reverse postorder into xi[top:n]. In
+// that order every node precedes the nodes reachable from it, so
+// dependents come after their dependencies. Visited nodes stay marked;
+// the caller clears marks.
+func (f *Factorization) reachGraph(roots []int, ptr, adj []int32) int {
+	top := f.n
+	for _, root := range roots {
+		if f.mark[root] {
+			continue
+		}
+		depth := 0
+		f.stack[0] = root
+		f.pstk[0] = 0
+		f.mark[root] = true
+		for depth >= 0 {
+			i := f.stack[depth]
+			lo, hi := int(ptr[i]), int(ptr[i+1])
+			done := true
+			for t := lo + f.pstk[depth]; t < hi; t++ {
+				r := int(adj[t])
+				if f.mark[r] {
+					continue
+				}
+				f.pstk[depth] = t - lo + 1
+				depth++
+				f.stack[depth] = r
+				f.pstk[depth] = 0
+				f.mark[r] = true
+				done = false
+				break
+			}
+			if done {
+				top--
+				f.xi[top] = i
+				depth--
+			}
+		}
+	}
+	return top
+}
+
 // Solve computes x with B·x = b. b and x have length n and may alias.
+//
+// When x aliases b and b is sparse, the solve restricts itself to the
+// reach of b's pattern through the factors, processing reached rows in
+// the dense passes' own order (ascending pivot position forward,
+// descending backward) — identical floats up to structural-zero signs.
 func (f *Factorization) Solve(b, x []float64) {
 	n := f.n
 	if len(b) != n || len(x) != n {
 		panic("lu: Solve dimension mismatch")
 	}
+	if n >= 64 && &x[0] == &b[0] {
+		pat := f.patBuf[:0]
+		for i := 0; i < n && len(pat) <= n/8; i++ {
+			if b[i] != 0 {
+				pat = append(pat, i)
+			}
+		}
+		f.patBuf = pat
+		if len(pat) <= n/8 {
+			f.solveSparse(b, x, pat)
+			return
+		}
+	}
+	f.solveDense(b, x)
+}
+
+// SolveSupp is Solve for a caller that already knows a superset of b's
+// nonzero pattern: supp lists original indices, ascending, and every
+// entry of b outside supp is exactly zero. The pattern is filtered to
+// the actual nonzeros, so the solve path and result match Solve's.
+func (f *Factorization) SolveSupp(b, x []float64, supp []int) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("lu: Solve dimension mismatch")
+	}
+	if n >= 64 && &x[0] == &b[0] {
+		pat := f.patBuf[:0]
+		for _, i := range supp {
+			if b[i] != 0 {
+				pat = append(pat, i)
+			}
+		}
+		f.patBuf = pat
+		if len(pat) <= n/8 {
+			f.solveSparse(b, x, pat)
+			return
+		}
+	}
+	f.solveDense(b, x)
+}
+
+func (f *Factorization) solveDense(b, x []float64) {
+	n := f.n
 	z := f.x // reuse workspace; zeroed on exit of Factor and solves
 	// Forward: L z = P b, z indexed by pivot position.
 	for k := 0; k < n; k++ {
@@ -306,7 +490,13 @@ func (f *Factorization) Solve(b, x []float64) {
 	}
 	// Backward: U w = z, then scatter through the column permutation.
 	for j := n - 1; j >= 0; j-- {
-		wj := z[j] / f.uDiag[j]
+		zj := z[j]
+		if zj == 0 {
+			// The quotient would be ±0; leaving the stored +0 differs
+			// only in the sign of a zero.
+			continue
+		}
+		wj := zj / f.uDiag[j]
 		z[j] = wj
 		if wj == 0 {
 			continue
@@ -324,13 +514,173 @@ func (f *Factorization) Solve(b, x []float64) {
 	}
 }
 
+// solveSparse is the sparse-pattern solve: pat lists the original rows
+// i with b[i] ≠ 0, ascending. x aliases b.
+func (f *Factorization) solveSparse(b, x []float64, pat []int) {
+	n := f.n
+	z := f.x
+	// Forward reach through L (original-row space, as in Factor), then
+	// eliminate in ascending pivot order — the dense pass's order, so
+	// every scatter target accumulates its contributions in the same
+	// sequence. Untouched rows hold the exact zeros the dense pass
+	// would compute.
+	top := f.reach(pat)
+	ord := f.ordBuf[:0]
+	for p := top; p < n; p++ {
+		i := f.xi[p]
+		f.mark[i] = false
+		ord = append(ord, f.pinv[i])
+	}
+	sort.Ints(ord)
+	for _, i := range pat {
+		z[f.pinv[i]] = b[i]
+	}
+	for _, k := range ord {
+		zk := z[k]
+		if zk == 0 {
+			continue
+		}
+		lo, hi := f.lColPtr[k], f.lColPtr[k+1]
+		for t := lo; t < hi; t++ {
+			z[f.pinv[f.lRowIdx[t]]] -= f.lVal[t] * zk
+		}
+	}
+	// Backward through U: the forward result's structural nonzeros seed
+	// a reach over U's column graph (column j scatters into pivot rows
+	// k < j); descending order again matches the dense pass.
+	top = f.reachU(ord)
+	ord2 := ord[:0] // forward order no longer needed; reuse the buffer
+	for p := top; p < n; p++ {
+		j := f.xi[p]
+		f.mark[j] = false
+		ord2 = append(ord2, j)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ord2)))
+	for _, j := range ord2 {
+		zj := z[j]
+		if zj == 0 {
+			continue
+		}
+		wj := zj / f.uDiag[j]
+		z[j] = wj
+		if wj == 0 {
+			continue
+		}
+		lo, hi := f.uColPtr[j], f.uColPtr[j+1]
+		for t := lo; t < hi; t++ {
+			z[f.uRowIdx[t]] -= f.uVal[t] * wj
+		}
+	}
+	// Output: clear the input nonzeros (x aliases b), scatter results,
+	// restore the zero workspace invariant.
+	for _, i := range pat {
+		x[i] = 0
+	}
+	for _, j := range ord2 {
+		x[f.q[j]] = z[j]
+		z[j] = 0
+	}
+	f.ordBuf = ord2
+}
+
+// reachU is reach over U's column graph in pivot coordinates: DFS from
+// roots (pivot positions), successors of j are the pivot rows of U's
+// column j. Reverse postorder into xi[top:n]; caller clears marks.
+func (f *Factorization) reachU(roots []int) int {
+	top := f.n
+	for _, root := range roots {
+		if f.mark[root] {
+			continue
+		}
+		depth := 0
+		f.stack[0] = root
+		f.pstk[0] = 0
+		f.mark[root] = true
+		for depth >= 0 {
+			j := f.stack[depth]
+			lo, hi := f.uColPtr[j], f.uColPtr[j+1]
+			done := true
+			for t := lo + f.pstk[depth]; t < hi; t++ {
+				r := f.uRowIdx[t]
+				if f.mark[r] {
+					continue
+				}
+				f.pstk[depth] = t - lo + 1
+				depth++
+				f.stack[depth] = r
+				f.pstk[depth] = 0
+				f.mark[r] = true
+				done = false
+				break
+			}
+			if done {
+				top--
+				f.xi[top] = j
+				depth--
+			}
+		}
+	}
+	return top
+}
+
 // SolveTranspose computes x with Bᵀ·x = b. b and x have length n and
 // may alias.
+//
+// When x aliases b and b is sparse, the solve restricts itself to the
+// reach of b's pattern through the transposed factors: rows outside the
+// reach are structurally zero, and rows inside keep the exact gather
+// the dense path performs (same entries, same order), so the result is
+// bit-identical up to the sign of structural zeros.
 func (f *Factorization) SolveTranspose(b, x []float64) {
 	n := f.n
 	if len(b) != n || len(x) != n {
 		panic("lu: SolveTranspose dimension mismatch")
 	}
+	if n >= 64 && &x[0] == &b[0] {
+		pat := f.patBuf[:0]
+		for j := 0; j < n && len(pat) <= n/8; j++ {
+			if b[f.q[j]] != 0 {
+				pat = append(pat, j)
+			}
+		}
+		f.patBuf = pat
+		if len(pat) <= n/8 {
+			f.solveTransposeSparse(b, x, pat)
+			return
+		}
+	}
+	f.solveTransposeDense(b, x)
+}
+
+// SolveTransposeSupp is SolveTranspose for a caller that already knows
+// a superset of b's nonzero pattern: supp lists original indices (any
+// order) and every entry of b outside supp is exactly zero. The pattern
+// is filtered to the actual nonzeros — the same set SolveTranspose's
+// scan finds — and root order does not affect the computed values, so
+// the result matches SolveTranspose's.
+func (f *Factorization) SolveTransposeSupp(b, x []float64, supp []int) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("lu: SolveTranspose dimension mismatch")
+	}
+	if n >= 64 && &x[0] == &b[0] {
+		pat := f.patBuf[:0]
+		for _, i := range supp {
+			if b[i] != 0 {
+				pat = append(pat, f.qinv[i])
+			}
+		}
+		f.patBuf = pat
+		if len(pat) <= n/8 {
+			f.solveTransposeSparse(b, x, pat)
+			return
+		}
+	}
+	f.solveTransposeDense(b, x)
+}
+
+func (f *Factorization) solveTransposeDense(b, x []float64) {
+	n := f.n
 	z := f.x
 	// Uᵀ z = b', with b'_j = b[q[j]]. Uᵀ is lower triangular, so go
 	// ascending; each step is a gather over U's column j.
@@ -359,6 +709,55 @@ func (f *Factorization) SolveTranspose(b, x []float64) {
 	}
 	// Clear workspace (x may alias b but never aliases f.x).
 	for k := 0; k < n; k++ {
+		z[k] = 0
+	}
+}
+
+// solveTransposeSparse is the sparse-pattern transpose solve: pat lists
+// the pivot positions j with b[q[j]] ≠ 0, ascending. x aliases b.
+func (f *Factorization) solveTransposeSparse(b, x []float64, pat []int) {
+	n := f.n
+	f.ensureTranspose()
+	z := f.x
+	// Uᵀ z = b' over the reach of the pattern, in topological order
+	// (dependencies of a node are its DFS ancestors, stored earlier).
+	// Each computed row keeps the dense path's full column gather —
+	// untouched rows read as the exact zeros they are.
+	topU := f.reachGraph(pat, f.uRowPtr, f.uRowCol)
+	ord := f.ordBuf[:0]
+	for p := topU; p < n; p++ {
+		j := f.xi[p]
+		f.mark[j] = false
+		ord = append(ord, j)
+		s := b[f.q[j]]
+		lo, hi := f.uColPtr[j], f.uColPtr[j+1]
+		for t := lo; t < hi; t++ {
+			s -= f.uVal[t] * z[f.uRowIdx[t]]
+		}
+		z[j] = s / f.uDiag[j]
+	}
+	f.ordBuf = ord
+	// Lᵀ w = z: the structural nonzeros of z seed a second reach, this
+	// time downward (row k of Lᵀ reads rows m > k).
+	topL := f.reachGraph(ord, f.lRowPtr, f.lRowCol)
+	for p := topL; p < n; p++ {
+		k := f.xi[p]
+		s := z[k]
+		lo, hi := f.lColPtr[k], f.lColPtr[k+1]
+		for t := lo; t < hi; t++ {
+			s -= f.lVal[t] * z[f.pinv[f.lRowIdx[t]]]
+		}
+		z[k] = s
+	}
+	// Output: clear the input nonzeros (x aliases b), then scatter the
+	// computed rows and restore the zero workspace invariant.
+	for _, j := range pat {
+		x[f.q[j]] = 0
+	}
+	for p := topL; p < n; p++ {
+		k := f.xi[p]
+		f.mark[k] = false
+		x[f.p[k]] = z[k]
 		z[k] = 0
 	}
 }

@@ -78,6 +78,9 @@ type Solution struct {
 	PathFrac [][][]float64
 	// Iterations is the simplex iteration count.
 	Iterations int
+	// Basis is the name-keyed optimal basis for warm-starting the next
+	// solve of a related relaxation (nil when not exportable).
+	Basis *lp.Basis
 }
 
 // BuildSinglePath constructs the Section 3.1.1 relaxation: every flow
@@ -312,7 +315,15 @@ func (e *StatusError) Error() string {
 
 // Solve optimizes the relaxation and extracts the fractional schedule.
 func (l *LP) Solve(opt simplex.Options) (*Solution, error) {
-	raw, err := l.Model.Solve(opt)
+	return l.SolveWarm(opt, nil)
+}
+
+// SolveWarm is Solve with an optional warm-start basis carried over
+// from a previous relaxation (a perturbed instance, a regridded
+// horizon, or the prior epoch's residual). Invalid bases fall back to
+// a cold solve inside the solver.
+func (l *LP) SolveWarm(opt simplex.Options, warm *lp.Basis) (*Solution, error) {
+	raw, err := l.Model.SolveWarm(opt, warm)
 	if err != nil {
 		return nil, err
 	}
@@ -326,6 +337,7 @@ func (l *LP) Solve(opt simplex.Options) (*Solution, error) {
 		CStar:      make([]float64, len(l.Inst.Coflows)),
 		Frac:       make([][]float64, len(l.flows)),
 		Iterations: raw.Iterations(),
+		Basis:      raw.Basis,
 	}
 	for j, cv := range l.cj {
 		sol.CStar[j] = raw.Value(cv)

@@ -3,10 +3,11 @@ package sim
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/coflow"
 	"repro/internal/engine"
+	"repro/internal/lp"
 	"repro/internal/stats"
 )
 
@@ -38,6 +39,12 @@ type epochAdapter struct {
 	opt     Options
 	order   []int // cached priority order, original coflow indices
 	replans int
+	// lastBasis is the LP basis exported by the previous replan,
+	// re-imported on the next one when Options.WarmLP is set. The
+	// residual instance shrinks and shifts between replans, so the
+	// name-keyed remap keeps whatever still matches and the solver
+	// falls back to a cold start when too little does.
+	lastBasis *lp.Basis
 }
 
 // newAdapter resolves the wrapped scheduler eagerly so unknown or
@@ -80,14 +87,21 @@ func (p *epochAdapter) replan(ctx context.Context, st *State) error {
 		return nil
 	}
 	p.replans++
-	res, err := engine.Schedule(ctx, p.sched, sub, coflow.SinglePath, engine.Options{
+	eopt := engine.Options{
 		MaxSlots: p.opt.MaxSlots,
 		Trials:   p.opt.Trials,
 		Seed:     stats.SubSeed(p.opt.Seed, uint64(p.replans)),
 		Workers:  p.opt.Workers,
-	})
+	}
+	if p.opt.WarmLP {
+		eopt.WarmBasis = p.lastBasis
+	}
+	res, err := engine.Schedule(ctx, p.sched, sub, coflow.SinglePath, eopt)
 	if err != nil {
 		return fmt.Errorf("replanning with %s over %d coflows: %w", p.sched, len(sub.Coflows), err)
+	}
+	if p.opt.WarmLP && res.Core != nil {
+		p.lastBasis = res.Core.Basis
 	}
 	if len(res.Completions) != len(sub.Coflows) {
 		return fmt.Errorf("scheduler %s returned %d completions for %d coflows",
@@ -97,11 +111,19 @@ func (p *epochAdapter) replan(ctx context.Context, st *State) error {
 	for k := range order {
 		order[k] = k
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		if res.Completions[order[a]] != res.Completions[order[b]] {
-			return res.Completions[order[a]] < res.Completions[order[b]]
+	slices.SortStableFunc(order, func(a, b int) int {
+		switch {
+		case res.Completions[a] < res.Completions[b]:
+			return -1
+		case res.Completions[a] > res.Completions[b]:
+			return 1
+		case back[a] < back[b]:
+			return -1
+		case back[a] > back[b]:
+			return 1
+		default:
+			return 0
 		}
-		return back[order[a]] < back[order[b]]
 	})
 	p.order = p.order[:0]
 	for _, s := range order {

@@ -1,6 +1,9 @@
 package sim
 
-import "repro/internal/graph"
+import (
+	"repro/internal/coflow"
+	"repro/internal/graph"
+)
 
 // FlowRate is one entry of a sparse rate assignment: flow Flow of
 // coflow Coflow transmits at Rate until the next event.
@@ -43,6 +46,26 @@ type Alloc struct {
 	residual []float64
 	dirty    []graph.EdgeID
 	satBase  int
+
+	// Flattened per-instance path index (see ensurePaths): the hot
+	// per-event loops walk paths for every candidate flow, and loading
+	// each path's slice header out of its Flow struct was the single
+	// largest cache-miss source in the policy profiles. flowBase[j]+i
+	// indexes flow i of coflow j; its path is
+	// pathEdges[pathOff[flowBase[j]+i] : pathOff[flowBase[j]+i+1]].
+	inst      *coflow.Instance
+	flowBase  []int32
+	pathOff   []int32
+	pathEdges []graph.EdgeID
+
+	// live[j] holds coflow j's not-yet-finished flow indices, ascending.
+	// Policies iterating a coflow's flows filter on remaining > eps
+	// anyway; since remaining only decreases within a run, a flow that
+	// fails the filter once fails it forever, so the scans compact it
+	// out of live[j] permanently instead of re-testing it every event.
+	// The lists only shrink, in place, over the shared liveBuf backing.
+	live    [][]int32
+	liveBuf []int32
 }
 
 // Reset clears the entries, keeping the buffers.
@@ -72,4 +95,47 @@ func (a *Alloc) ensureScratch(g *graph.Graph) {
 	}
 	a.residual = append(a.residual[:0], a.caps...)
 	a.dirty = a.dirty[:0]
+}
+
+// ensurePaths builds the flattened path index for inst, once per
+// instance identity: three dense arrays replacing the pointer chase
+// through coflow.Flow structs in the per-event inner loops.
+func (a *Alloc) ensurePaths(inst *coflow.Instance) {
+	if a.inst == inst {
+		return
+	}
+	a.inst = inst
+	nc := len(inst.Coflows)
+	a.flowBase = a.flowBase[:0]
+	a.pathOff = a.pathOff[:0]
+	a.pathEdges = a.pathEdges[:0]
+	total := int32(0)
+	for j := 0; j < nc; j++ {
+		a.flowBase = append(a.flowBase, total)
+		total += int32(len(inst.Coflows[j].Flows))
+	}
+	a.flowBase = append(a.flowBase, total)
+	off := int32(0)
+	for j := 0; j < nc; j++ {
+		for i := range inst.Coflows[j].Flows {
+			a.pathOff = append(a.pathOff, off)
+			path := inst.Coflows[j].Flows[i].Path
+			a.pathEdges = append(a.pathEdges, path...)
+			off += int32(len(path))
+		}
+	}
+	a.pathOff = append(a.pathOff, off)
+	if cap(a.liveBuf) < int(total) {
+		a.liveBuf = make([]int32, total)
+	}
+	a.liveBuf = a.liveBuf[:total]
+	a.live = a.live[:0]
+	for j := 0; j < nc; j++ {
+		lo := a.flowBase[j]
+		lv := a.liveBuf[lo:a.flowBase[j+1]:a.flowBase[j+1]]
+		for i := range lv {
+			lv[i] = int32(i)
+		}
+		a.live = append(a.live, lv)
+	}
 }

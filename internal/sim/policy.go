@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -102,7 +103,9 @@ func New(name string, opt Options) (Policy, error) {
 func PriorityRates(st *State, order []int, out *Alloc) {
 	g := st.Inst.Graph
 	out.ensureScratch(g)
+	out.ensurePaths(st.Inst)
 	residual := out.residual
+	pe, pathOff, flowBase := out.pathEdges, out.pathOff, out.flowBase
 	sat := out.satBase // edges with no usable residual capacity
 	ne := g.NumEdges()
 	horizon := st.Now + eps
@@ -110,26 +113,38 @@ func PriorityRates(st *State, order []int, out *Alloc) {
 		if sat >= ne {
 			break
 		}
-		c := &st.Inst.Coflows[j]
 		rem, rel := st.Remaining[j], st.effRel[j]
-		for i := range c.Flows {
-			if rem[i] <= eps || rel[i] > horizon {
+		fb := flowBase[j]
+		lv := out.live[j]
+		w := 0
+		for _, i32 := range lv {
+			i := int(i32)
+			if rem[i] <= eps {
+				continue // finished for good: compacted out of live[j]
+			}
+			lv[w] = i32
+			w++
+			if rel[i] > horizon {
 				continue
 			}
-			path := c.Flows[i].Path
-			r := residual[path[0]]
-			for _, e := range path[1:] {
-				if residual[e] < r {
-					r = residual[e]
+			// Path bottleneck over the flat index. The scan stops as
+			// soon as the running minimum drops to eps: the full minimum
+			// can only be lower, and anything ≤ eps is skipped either way.
+			lo, hi := int(pathOff[fb+int32(i)]), int(pathOff[fb+int32(i)+1])
+			r := residual[pe[lo]]
+			for k := lo + 1; k < hi && r > eps; k++ {
+				if re := residual[pe[k]]; re < r {
+					r = re
 				}
 			}
 			if r <= eps {
 				continue
 			}
 			out.Grant(j, i, r)
-			for _, e := range path {
+			for k := lo; k < hi; k++ {
 				// Every edge on a granted path had residual ≥ r > eps,
 				// so crossing eps here is this edge's first saturation.
+				e := pe[k]
 				residual[e] -= r
 				if residual[e] <= eps {
 					sat++
@@ -137,6 +152,7 @@ func PriorityRates(st *State, order []int, out *Alloc) {
 				out.dirty = append(out.dirty, e)
 			}
 		}
+		out.live[j] = lv[:w]
 	}
 	for _, e := range out.dirty {
 		residual[e] = out.caps[e]
@@ -188,8 +204,15 @@ func (p *fifoPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 	// Within one reveal batch arrivals may differ (several releases
 	// can pass between two events); sort by arrival, ties keeping the
 	// ascending index order Active yields — the reference comparator.
-	sort.SliceStable(p.batch, func(a, b int) bool {
-		return st.Arrival[p.batch[a]] < st.Arrival[p.batch[b]]
+	slices.SortStableFunc(p.batch, func(a, b int) int {
+		switch {
+		case st.Arrival[a] < st.Arrival[b]:
+			return -1
+		case st.Arrival[a] > st.Arrival[b]:
+			return 1
+		default:
+			return 0
+		}
 	})
 	p.order = append(p.order, p.batch...)
 	PriorityRates(st, p.order, out)
@@ -200,23 +223,100 @@ func (p *fifoPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 // the non-clairvoyant stand-in for shortest-first used by Bhimaraju,
 // Nayak & Vaze (2020): without knowing demands, the coflow that has
 // received the least data so far is the best guess at the shortest
-// one. Ties break by arrival, then index. Attained service changes at
-// every event, so the order is re-sorted per call (over a reused
-// buffer).
+// one. Ties break by arrival, then index.
+//
+// The priority order is maintained incrementally under the total order
+// (attained, arrival, index) — exactly what the reference's stable
+// sort over the ascending active list induces. Between events only
+// the coflows that were granted rate change their attained service
+// (and only upward), so each call splices out the served set — whose
+// size is bounded by the allocation, not the backlog — sorts it, and
+// merges it back, instead of re-sorting the full active set.
 type lasPolicy struct {
-	order []int
+	order  []int
+	moved  []int
+	merged []int
+	added  []bool
+	// snap[j] is Attained[j] as of the moment j was last placed in
+	// order; a mismatch means j was served and must be re-positioned.
+	snap []float64
 }
 
 func (*lasPolicy) Name() string { return NameLAS }
+
+// lasLess is the strict total order LAS serves by.
+func lasLess(st *State, a, b int) bool {
+	if st.Attained[a] != st.Attained[b] {
+		return st.Attained[a] < st.Attained[b]
+	}
+	if st.Arrival[a] != st.Arrival[b] {
+		return st.Arrival[a] < st.Arrival[b]
+	}
+	return a < b
+}
+
 func (p *lasPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
-	p.order = append(p.order[:0], st.Active...)
-	sort.SliceStable(p.order, func(a, b int) bool {
-		ja, jb := p.order[a], p.order[b]
-		if st.Attained[ja] != st.Attained[jb] {
-			return st.Attained[ja] < st.Attained[jb]
+	if p.added == nil {
+		nc := len(st.Inst.Coflows)
+		p.added = make([]bool, nc)
+		p.snap = make([]float64, nc)
+	}
+	// One pass over the cached order: drop finished coflows, pull out
+	// the ones whose attained service moved. What remains is still
+	// sorted — its keys are unchanged by construction.
+	keep := p.order[:0]
+	p.moved = p.moved[:0]
+	for _, j := range p.order {
+		if !st.IsActive(j) {
+			continue
 		}
-		return st.Arrival[ja] < st.Arrival[jb]
-	})
+		if st.Attained[j] != p.snap[j] {
+			p.snap[j] = st.Attained[j]
+			p.moved = append(p.moved, j)
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	p.order = keep
+	// Newly revealed coflows join the displaced set.
+	for _, j := range st.Active {
+		if !p.added[j] {
+			p.added[j] = true
+			p.snap[j] = st.Attained[j]
+			p.moved = append(p.moved, j)
+		}
+	}
+	if len(p.moved) > 0 {
+		slices.SortFunc(p.moved, func(a, b int) int {
+			switch {
+			case st.Attained[a] < st.Attained[b]:
+				return -1
+			case st.Attained[a] > st.Attained[b]:
+				return 1
+			case st.Arrival[a] < st.Arrival[b]:
+				return -1
+			case st.Arrival[a] > st.Arrival[b]:
+				return 1
+			default:
+				return a - b
+			}
+		})
+		m := p.merged[:0]
+		a, b := p.order, p.moved
+		ia, ib := 0, 0
+		for ia < len(a) && ib < len(b) {
+			if lasLess(st, a[ia], b[ib]) {
+				m = append(m, a[ia])
+				ia++
+			} else {
+				m = append(m, b[ib])
+				ib++
+			}
+		}
+		m = append(m, a[ia:]...)
+		m = append(m, b[ib:]...)
+		p.order, p.merged = m, p.order
+	}
 	PriorityRates(st, p.order, out)
 	return nil
 }
@@ -225,19 +325,33 @@ func (p *lasPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 // filling raises every available flow's rate uniformly until an edge
 // saturates, freezes the flows through it, and repeats on the rest —
 // the per-flow fairness a network with no coflow scheduler would give.
-// All scratch is reused across events; the live list is built in
-// ascending (coflow, flow) order, which is exactly the entry grouping
-// the sparse contract requires.
+//
+// The filling is incremental across rounds: per-edge unfrozen-flow
+// counts are maintained by decrement as flows freeze (the reference
+// recounts every path every round), the uniform raise is applied per
+// counted edge as count[e] identical subtractions (the same float
+// sequence the reference's per-flow path walk produces, so rates and
+// freeze rounds are bit-identical), and freezing walks a saturated
+// edge's reverse index instead of rescanning every live flow. A round
+// therefore costs O(counted edges + flows frozen this round), and each
+// flow is frozen exactly once per event.
 type fairPolicy struct {
-	g        *graph.Graph
-	live     []liveFlow
-	count    []int
-	caps     []float64
-	residual []float64
+	g         *graph.Graph
+	caps      []float64
+	residual  []float64
+	count     []int
+	share     []float64 // residual[e]/count[e] as of the last round it was computed
+	pos       []int32   // position of a counted edge in used
+	used      []graph.EdgeID
+	satEdges  []graph.EdgeID
+	touched   []graph.EdgeID
+	edgeFlows [][]int32
+	live      []liveFlow
 }
 
 type liveFlow struct {
-	j, i   int
+	j, i   int32
+	fi     int32 // flat flow index: path is pathEdges[pathOff[fi]:pathOff[fi+1]]
 	rate   float64
 	frozen bool
 }
@@ -247,82 +361,240 @@ func (p *fairPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 	g := st.Inst.Graph
 	if p.g != g {
 		p.g = g
-		p.caps = make([]float64, g.NumEdges())
+		ne := g.NumEdges()
+		p.caps = make([]float64, ne)
 		for _, e := range g.Edges() {
 			p.caps[e.ID] = e.Capacity
 		}
-		p.residual = make([]float64, g.NumEdges())
-		p.count = make([]int, g.NumEdges())
+		p.residual = make([]float64, ne)
+		p.count = make([]int, ne)
+		p.share = make([]float64, ne)
+		p.pos = make([]int32, ne)
+		p.edgeFlows = make([][]int32, ne)
+		p.used = p.used[:0]
 	}
 	copy(p.residual, p.caps)
 	residual, count := p.residual, p.count
+	out.ensurePaths(st.Inst)
+	pe, pathOff, flowBase := out.pathEdges, out.pathOff, out.flowBase
+
+	// Live flows in ascending (coflow, flow) order — the sparse entry
+	// grouping — plus per-edge counts and the edge→flows reverse index.
+	// count is all-zero here: every nonzero drains to zero below.
 	p.live = p.live[:0]
+	horizon := st.Now + eps
 	for _, j := range st.Active {
-		c := &st.Inst.Coflows[j]
-		for i := range c.Flows {
-			if st.Remaining[j][i] > eps && st.Available(j, i) {
-				p.live = append(p.live, liveFlow{j: j, i: i})
+		rem, rel := st.Remaining[j], st.effRel[j]
+		fb := flowBase[j]
+		lv := out.live[j]
+		w := 0
+		for _, i32 := range lv {
+			i := int(i32)
+			if rem[i] <= eps {
+				continue // finished for good: compacted out of live[j]
 			}
+			lv[w] = i32
+			w++
+			if rel[i] > horizon {
+				continue
+			}
+			p.live = append(p.live, liveFlow{j: int32(j), i: i32, fi: fb + i32})
 		}
+		out.live[j] = lv[:w]
 	}
 	live := p.live
+	p.used = p.used[:0]
+	for s := range live {
+		fi := live[s].fi
+		for k := pathOff[fi]; k < pathOff[fi+1]; k++ {
+			e := pe[k]
+			if count[e] == 0 {
+				p.pos[e] = int32(len(p.used))
+				p.used = append(p.used, e)
+				p.edgeFlows[e] = p.edgeFlows[e][:0]
+			}
+			count[e]++
+			p.edgeFlows[e] = append(p.edgeFlows[e], int32(s))
+		}
+	}
+
+	// The rounds. Every round's delta is the min over counted edges of
+	// the residual share residual[e]/count[e] — the same value the
+	// reference's all-flows path scan finds (same multiset; a min is
+	// order-independent) — and every counted edge then loses delta once
+	// per unfrozen flow through it, as count[e] sequential subtractions
+	// (the same float sequence the reference's per-flow walk produces).
+	// The small-count shares avoid the division: x/1 is x, and x/2 and
+	// x·0.5 round to the identical float.
+	//
+	// Instead of a separate min scan per round, the subtraction pass
+	// speculatively computes next round's shares with the pre-freeze
+	// counts and tracks their min. The freeze step only ever lowers
+	// counts, and correctly-rounded division is monotone, so a touched
+	// edge's true share can only be ≥ its speculative one: the
+	// speculative min stands as next round's exact delta unless its own
+	// edge was touched — then the stored shares (fixed up for the
+	// touched edges) are rescanned, with no division. Edges whose flows
+	// all froze are compacted out of used in passing.
+	fill := 0.0
+	used := p.used
+	share := p.share
+	sat := p.satEdges[:0]
+	touched := p.touched[:0]
+	var specMin float64
+	var specArg graph.EdgeID
+	var specN int
+	specValid := false
+	// Round 1 has no prior subtraction pass: seed the shares and their
+	// min from scratch. Zero-capacity edges keep their ≤ 0 share here —
+	// the reference's min sees them too, forcing the delta ≤ 0 path.
+	delta := -1.0
+	for _, e := range used {
+		var sh float64
+		switch count[e] {
+		case 1:
+			sh = residual[e]
+		case 2:
+			sh = residual[e] * 0.5
+		default:
+			sh = residual[e] / float64(count[e])
+		}
+		share[e] = sh
+		if delta < 0 || sh < delta {
+			delta = sh
+		}
+	}
 	for unfrozen := len(live); unfrozen > 0; {
-		for e := range count {
-			count[e] = 0
-		}
-		for _, lf := range live {
-			if lf.frozen {
-				continue
-			}
-			for _, e := range st.Inst.Coflows[lf.j].Flows[lf.i].Path {
-				count[e]++
-			}
-		}
-		delta := -1.0
-		for e, n := range count {
-			if n == 0 {
-				continue
-			}
-			if share := residual[e] / float64(n); delta < 0 || share < delta {
-				delta = share
-			}
-		}
+		sat = sat[:0]
 		if delta > 0 {
-			for i := range live {
-				if live[i].frozen {
+			fill += delta
+			specValid = false
+			for _, e := range used {
+				n := count[e]
+				r := residual[e]
+				if n == 1 {
+					r -= delta
+				} else {
+					for k := n; k > 0; k-- {
+						r -= delta
+					}
+				}
+				residual[e] = r
+				if r <= eps {
+					// Saturated: all its unfrozen flows freeze this
+					// round, so it leaves the counted set — no share.
+					sat = append(sat, e)
 					continue
 				}
-				live[i].rate += delta
-				for _, e := range st.Inst.Coflows[live[i].j].Flows[live[i].i].Path {
-					residual[e] -= delta
+				var sh float64
+				switch n {
+				case 1:
+					sh = r
+				case 2:
+					sh = r * 0.5
+				default:
+					sh = r / float64(n)
+				}
+				share[e] = sh
+				if !specValid || sh < specMin {
+					specMin, specArg, specN, specValid = sh, e, n, true
+				}
+			}
+		} else {
+			for _, e := range used {
+				if residual[e] <= eps {
+					sat = append(sat, e)
 				}
 			}
 		}
-		// Freeze flows through saturated edges; every round freezes at
-		// least one flow, so the loop terminates.
+		// Freeze every unfrozen flow through a saturated edge, walking
+		// the saturated edges' reverse indexes and recording every
+		// decremented edge for the share fix-up.
 		frozeAny := false
-		for i := range live {
-			if live[i].frozen {
-				continue
-			}
-			for _, e := range st.Inst.Coflows[live[i].j].Flows[live[i].i].Path {
-				if residual[e] <= eps {
-					live[i].frozen = true
-					unfrozen--
-					frozeAny = true
-					break
+		touched = touched[:0]
+		for _, e := range sat {
+			for _, s := range p.edgeFlows[e] {
+				lf := &live[s]
+				if lf.frozen {
+					continue
+				}
+				lf.frozen = true
+				lf.rate = fill
+				unfrozen--
+				frozeAny = true
+				fi := lf.fi
+				for k := pathOff[fi]; k < pathOff[fi+1]; k++ {
+					te := pe[k]
+					count[te]--
+					if count[te] == 0 {
+						// te's last flow froze: swap-remove it from the
+						// counted set, so no later pass tests for it.
+						last := int32(len(used) - 1)
+						le := used[last]
+						pt := p.pos[te]
+						used[pt] = le
+						p.pos[le] = pt
+						used = used[:last]
+					} else {
+						touched = append(touched, te)
+					}
 				}
 			}
 		}
 		if !frozeAny {
 			// No edge saturated (delta ≤ 0 with residual slack cannot
-			// happen, but guard against float drift).
+			// happen, but guard against float drift). Unfrozen flows
+			// keep the accumulated fill level.
 			break
 		}
+		if unfrozen == 0 {
+			break
+		}
+		// Pass A stores every counted edge's share fresh each round, so
+		// staleness never outlives the round: only this round's touched
+		// edges can be stale, and only a rescan reads them. The fix-up
+		// is therefore deferred until a rescan is actually needed —
+		// which is O(1) to detect: the speculative min stands unless its
+		// own edge's count changed.
+		if specValid && count[specArg] == specN {
+			delta = specMin
+		} else {
+			for _, e := range touched {
+				n := count[e]
+				if n == 0 {
+					continue
+				}
+				var sh float64
+				switch n {
+				case 1:
+					sh = residual[e]
+				case 2:
+					sh = residual[e] * 0.5
+				default:
+					sh = residual[e] / float64(n)
+				}
+				share[e] = sh
+			}
+			delta = -1.0
+			for _, e := range used {
+				if sh := share[e]; delta < 0 || sh < delta {
+					delta = sh
+				}
+			}
+		}
 	}
-	for _, lf := range live {
-		if lf.rate > eps {
-			out.Grant(lf.j, lf.i, lf.rate)
+	p.satEdges = sat
+	p.touched = touched
+	for _, e := range used {
+		count[e] = 0
+	}
+	for s := range live {
+		r := live[s].rate
+		if !live[s].frozen {
+			r = fill
+		}
+		if r > eps {
+			out.Grant(int(live[s].j), int(live[s].i), r)
 		}
 	}
 	return nil

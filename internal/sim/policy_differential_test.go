@@ -1,0 +1,135 @@
+package sim
+
+// Differential tests for the incremental policies: the registered
+// "las" and "fair" implementations maintain their order / water-fill
+// state across events, and these tests hold them bit-identical to the
+// from-scratch reference implementations (policy_reference.go) on the
+// same instances — full traces, completions, and aggregates compared
+// exactly, across all four topology families and a seed sweep. The
+// loop-level differential tests (differential_test.go) already pin
+// Simulate against simulateReference with the same policy on both
+// sides; this file pins the policy pair under the same loop, so the
+// two suites together cover both axes of the fast path.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/coflow"
+	"repro/internal/stats"
+)
+
+// runPolicy executes the optimized event loop with an explicitly
+// injected policy instance — the hook that lets unregistered reference
+// policies run under the identical loop.
+func runPolicy(t *testing.T, in *coflow.Instance, opt Options, pol Policy) *Result {
+	t.Helper()
+	opt = opt.Normalize()
+	if err := in.Validate(coflow.SinglePath); err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	res, err := newRunner(in, opt, pol).run(context.Background())
+	if err != nil {
+		t.Fatalf("policy %s: %v", pol.Name(), err)
+	}
+	return res
+}
+
+// diffPolicyCompare runs the registered fast policy and the reference
+// implementation on the same instance and fails on any divergence.
+func diffPolicyCompare(t *testing.T, in *coflow.Instance, opt Options, ref Policy) {
+	t.Helper()
+	opt = opt.Normalize()
+	fast, err := Simulate(context.Background(), in, opt)
+	if err != nil {
+		t.Fatalf("fast %s: %v", opt.Policy, err)
+	}
+	want := runPolicy(t, in, opt, ref)
+	if len(fast.Trace) != len(want.Trace) {
+		t.Fatalf("trace length %d, reference policy %d", len(fast.Trace), len(want.Trace))
+	}
+	for i := range want.Trace {
+		if fast.Trace[i] != want.Trace[i] {
+			t.Fatalf("trace event %d: got %+v, reference policy %+v", i, fast.Trace[i], want.Trace[i])
+		}
+	}
+	if !reflect.DeepEqual(fast.Completions, want.Completions) {
+		t.Fatalf("completions diverge:\n got %v\n ref %v", fast.Completions, want.Completions)
+	}
+	if fast.WeightedCCT != want.WeightedCCT || fast.TotalCCT != want.TotalCCT ||
+		fast.AvgCCT != want.AvgCCT || fast.Makespan != want.Makespan {
+		t.Fatalf("aggregates diverge: got (%v %v %v %v), ref (%v %v %v %v)",
+			fast.WeightedCCT, fast.TotalCCT, fast.AvgCCT, fast.Makespan,
+			want.WeightedCCT, want.TotalCCT, want.AvgCCT, want.Makespan)
+	}
+	if fast.Events != want.Events || fast.Replans != want.Replans {
+		t.Fatalf("events/replans diverge: got %d/%d, ref %d/%d",
+			fast.Events, fast.Replans, want.Events, want.Replans)
+	}
+}
+
+// refFactory builds a fresh reference policy per run (policies carry
+// per-run caches).
+var refFactories = map[string]func() Policy{
+	NameLAS:  func() Policy { return &lasReference{} },
+	NameFair: func() Policy { return &fairReference{} },
+}
+
+// TestDifferentialIncrementalPolicies sweeps the incremental policies
+// against their references over the four topology families, with
+// per-flow release jitter (so availability flips between events) and
+// epoch ticks, under the paranoid full check.
+func TestDifferentialIncrementalPolicies(t *testing.T) {
+	for name, mk := range refFactories {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for ti, spec := range differentialTopos {
+				seed := int64(stats.SubSeed(211, uint64(ti)))
+				in := differentialInstance(t, spec, 25, seed)
+				opt := Options{Policy: name, Epoch: 1.5, Seed: seed, CheckEvery: 1}
+				diffPolicyCompare(t, in, opt, mk())
+			}
+		})
+	}
+}
+
+// TestDifferentialIncrementalPoliciesClairvoyant pins the clairvoyant
+// path: every coflow is revealed at t=0, so the incremental structures
+// absorb the whole instance as one reveal batch while service still
+// honors releases.
+func TestDifferentialIncrementalPoliciesClairvoyant(t *testing.T) {
+	for name, mk := range refFactories {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for ti, spec := range differentialTopos {
+				seed := int64(stats.SubSeed(223, uint64(ti)))
+				in := differentialInstance(t, spec, 15, seed)
+				opt := Options{Policy: name, Seed: seed, Clairvoyant: true, CheckEvery: 1}
+				diffPolicyCompare(t, in, opt, mk())
+			}
+		})
+	}
+}
+
+// TestDifferentialIncrementalPoliciesSeedSweep is the breadth pass:
+// many seeds on one topology per policy, covering event interleavings
+// (simultaneous reveals, completion/tick ties) a single seed cannot.
+func TestDifferentialIncrementalPoliciesSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short")
+	}
+	for name, mk := range refFactories {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for s := int64(0); s < 10; s++ {
+				in := differentialInstance(t, "leaf-spine:leaves=3,spines=2,hosts=2", 30, 2000+s)
+				opt := Options{Policy: name, Epoch: 2, Seed: s, CheckEvery: 5}
+				diffPolicyCompare(t, in, opt, mk())
+			}
+		})
+	}
+}

@@ -17,17 +17,14 @@ import (
 //     pending[cursor];
 //   - a flow-release min-heap: per-flow releases that trail their
 //     coflow's reveal, pushed at reveal time and discarded lazily once
-//     the flow is available or its coflow finished;
-//   - a completion min-heap keyed by the current rates: one candidate
-//     per granted flow, projected as now + remaining/rate. Bumping the
-//     generation on re-allocation invalidates prior entries lazily —
-//     stale generations are dropped at peek instead of being searched
-//     for and removed. Every event in this simulator refreshes the
-//     allocation (arrivals, completions, and releases all change the
-//     active or available set), so in practice the heap is rebuilt by
-//     heapify from the fresh sparse entries each round; the lazy
-//     generation check keeps partially surviving allocations correct
-//     if a future policy contract allows them.
+//     the flow is available or its coflow finished.
+//
+// Projected completions need no index at all: every event refreshes
+// the allocation (arrivals, completions, and releases all change the
+// active or available set), so the event loop takes a linear min of
+// now + remaining/rate over the fresh sparse entries — a completion
+// heap would be rebuilt from scratch each event only to be peeked
+// once.
 //
 // Everything here is deterministic: push order is fixed by the event
 // loop, and only minimum *times* are read, never pop order among ties.
@@ -139,75 +136,6 @@ func (h *flowRelHeap) nextRelease(now float64, finished []bool, remaining [][]fl
 			continue
 		}
 		return top.t, true
-	}
-	return 0, false
-}
-
-// compEntry is one projected completion at the current rates.
-type compEntry struct {
-	t   float64
-	gen uint64
-}
-
-// compHeap is the completion min-heap. Entries carry the allocation
-// generation they were computed under; reset bumps the generation so
-// everything older is invalid and dropped lazily at peek.
-type compHeap struct {
-	items []compEntry
-	gen   uint64
-}
-
-// invalidate marks every current entry stale (the policy re-allocated)
-// and reclaims the buffer.
-func (h *compHeap) invalidate() {
-	h.gen++
-	h.items = h.items[:0]
-}
-
-// add records one candidate under the current generation; call init
-// once after the batch.
-func (h *compHeap) add(t float64) {
-	h.items = append(h.items, compEntry{t: t, gen: h.gen})
-}
-
-// heapify establishes the heap order over the batch in O(n).
-func (h *compHeap) heapify() {
-	for k := len(h.items)/2 - 1; k >= 0; k-- {
-		h.siftDown(k)
-	}
-}
-
-func (h *compHeap) siftDown(k int) {
-	n := len(h.items)
-	for {
-		l, r := 2*k+1, 2*k+2
-		m := k
-		if l < n && h.items[l].t < h.items[m].t {
-			m = l
-		}
-		if r < n && h.items[r].t < h.items[m].t {
-			m = r
-		}
-		if m == k {
-			return
-		}
-		h.items[k], h.items[m] = h.items[m], h.items[k]
-		k = m
-	}
-}
-
-// min peeks the earliest valid completion candidate, discarding stale
-// generations.
-func (h *compHeap) min() (float64, bool) {
-	for len(h.items) > 0 {
-		if h.items[0].gen != h.gen {
-			n := len(h.items) - 1
-			h.items[0] = h.items[n]
-			h.items = h.items[:n]
-			h.siftDown(0)
-			continue
-		}
-		return h.items[0].t, true
 	}
 	return 0, false
 }

@@ -23,9 +23,9 @@
 //     one.
 //
 // The event loop is built to scale to 100k-coflow instances: the next
-// event comes from an indexed queue (a release-sorted pending list, a
-// flow-release min-heap, and a completion min-heap keyed by the
-// current rates — see queue.go) instead of per-event full scans,
+// event comes from an indexed queue (a release-sorted pending list and
+// a flow-release min-heap — see queue.go) plus a linear min over the
+// fresh sparse allocation instead of per-event full scans,
 // policies return sparse per-active-coflow rate entries over reusable
 // buffers (see alloc.go) instead of dense coflows × flows matrices,
 // and the per-event allocation check is incremental over the touched
@@ -83,6 +83,15 @@ type Options struct {
 	Workers int
 	// MaxEvents caps the event loop as a runaway guard (0 = 1<<20).
 	MaxEvents int
+	// WarmLP carries the LP basis of each epoch re-plan into the next
+	// one (epoch:<lp-scheduler> policies only): consecutive residual
+	// instances differ by a handful of coflows, so their optimal bases
+	// are close and phase 1 is usually skipped entirely. Off by
+	// default because a warm solve may land on a different optimal
+	// vertex of a degenerate LP, perturbing the planned order — traces
+	// remain valid and deterministic, but are not bit-identical to
+	// cold-solve traces.
+	WarmLP bool
 	// Clairvoyant reveals every coflow to the policy at t=0 while
 	// service still honors release times, turning any policy into its
 	// clairvoyant counterpart. This is the continuous-time offline
@@ -305,7 +314,6 @@ type runner struct {
 
 	pending *pendingList
 	flowRel flowRelHeap
-	comp    compHeap
 
 	alloc Alloc
 
@@ -449,18 +457,20 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 		if rel, ok := r.flowRel.nextRelease(r.now, r.finished, st.Remaining); ok && rel < next {
 			next = rel
 		}
+		// Projected completions at the current rates: a linear min over
+		// the sparse entries. Every event refreshes the allocation, so
+		// an indexed structure would be rebuilt per event anyway — the
+		// min of the same candidate set is the same time either way.
 		progress := false
-		r.comp.invalidate()
 		for _, en := range r.alloc.Entries {
-			if st.Remaining[en.Coflow][en.Flow] <= eps || en.Rate <= eps {
+			rem := st.Remaining[en.Coflow][en.Flow]
+			if rem <= eps || en.Rate <= eps {
 				continue
 			}
 			progress = true
-			r.comp.add(r.now + st.Remaining[en.Coflow][en.Flow]/en.Rate)
-		}
-		r.comp.heapify()
-		if t, ok := r.comp.min(); ok && t < next {
-			next = t
+			if t := r.now + rem/en.Rate; t < next {
+				next = t
+			}
 		}
 		if math.IsInf(next, 1) {
 			return nil, fmt.Errorf("sim: stalled at t=%g with %d/%d coflows done (no rates, no pending events)",
@@ -523,13 +533,21 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 			if r.finished[j] {
 				continue
 			}
+			// Flows absent from the live list are finished for good, so
+			// scanning (and compacting) the list is equivalent to the
+			// reference's full Remaining[j] sweep.
 			all := true
-			for _, rem := range st.Remaining[j] {
-				if rem > eps {
-					all = false
-					break
+			lv := r.alloc.live[j]
+			w := 0
+			for _, i32 := range lv {
+				if st.Remaining[j][i32] <= eps {
+					continue
 				}
+				lv[w] = i32
+				w++
+				all = false
 			}
+			r.alloc.live[j] = lv[:w]
 			if all {
 				r.finished[j] = true
 				r.done++
@@ -599,6 +617,9 @@ func (r *runner) checkAlloc() error {
 	st := r.st
 	nc := len(st.Inst.Coflows)
 	ev := r.res.Events
+	// Per-entry path walks go through the alloc's flat path index (the
+	// same edges Flow.Path holds, laid out densely).
+	r.alloc.ensurePaths(st.Inst)
 	lastJ := -1
 	lastFlow := -1
 	for _, en := range r.alloc.Entries {
@@ -636,7 +657,8 @@ func (r *runner) checkAlloc() error {
 		if st.Remaining[j][en.Flow] <= eps || !st.Available(j, en.Flow) {
 			return fmt.Errorf("rate %g granted to inactive flow %d of coflow %d", rate, en.Flow, j)
 		}
-		for _, e := range c.Flows[en.Flow].Path {
+		fi := r.alloc.flowBase[j] + int32(en.Flow)
+		for _, e := range r.alloc.pathEdges[r.alloc.pathOff[fi]:r.alloc.pathOff[fi+1]] {
 			if r.load[e] == 0 {
 				r.touched = append(r.touched, e)
 			}

@@ -25,6 +25,16 @@ type basis struct {
 	etaVal []float64
 
 	work []float64 // scratch for building columns
+
+	// Per-eta index bitmasks plus a support bitset scratch, used by the
+	// sparse btran path to skip etas that provably leave v unchanged.
+	// etaMask holds maskWords() words per eta, parallel to etaRow.
+	// supWords lists the word indices where sup is nonzero, so the
+	// intersection test touches only words that can hit.
+	etaMask  []uint64
+	sup      []uint64
+	supWords []int32
+	supIdx   []int
 }
 
 func newBasis(m int) *basis {
@@ -42,6 +52,9 @@ func (b *basis) etaCount() int { return len(b.etaRow) }
 // etaNnz reports the total stored eta nonzeros.
 func (b *basis) etaNnz() int { return len(b.etaIdx) }
 
+// maskWords is the per-eta bitmask length in words.
+func (b *basis) maskWords() int { return (b.m + 63) / 64 }
+
 // refactor rebuilds the LU factorization from the given basis columns.
 // colOf must append the column of the constraint matrix for variable v
 // into the provided builder at basis position r.
@@ -54,13 +67,30 @@ func (b *basis) refactor(cols *sparse.Matrix) error {
 	b.etaRow = b.etaRow[:0]
 	b.etaIdx = b.etaIdx[:0]
 	b.etaVal = b.etaVal[:0]
+	b.etaMask = b.etaMask[:0]
 	return nil
+}
+
+// pushEtaMask appends the index bitmask for the eta whose entries start
+// at etaPtr position lo.
+func (b *basis) pushEtaMask(lo int) {
+	w := b.maskWords()
+	n := len(b.etaMask)
+	for i := 0; i < w; i++ {
+		b.etaMask = append(b.etaMask, 0)
+	}
+	mask := b.etaMask[n:]
+	for t := lo; t < len(b.etaIdx); t++ {
+		i := b.etaIdx[t]
+		mask[i>>6] |= 1 << (uint(i) & 63)
+	}
 }
 
 // pushEta records a pivot that replaced basis position r with the
 // FTran'd entering column w (dense, length m). Entries below dropTol
 // are not stored, except w[r] which is always kept.
 func (b *basis) pushEta(r int, w []float64, dropTol float64) {
+	lo := len(b.etaIdx)
 	for i, v := range w {
 		if i == r || math.Abs(v) > dropTol {
 			if v == 0 && i != r {
@@ -72,11 +102,43 @@ func (b *basis) pushEta(r int, w []float64, dropTol float64) {
 	}
 	b.etaRow = append(b.etaRow, r)
 	b.etaPtr = append(b.etaPtr, len(b.etaIdx))
+	b.pushEtaMask(lo)
+}
+
+// pushEtaIdx is pushEta over an explicit nonzero index list (ascending,
+// as the FTran scan produces): the same entries are stored in the same
+// order — wIdx lists exactly the nonzero positions of w, and pushEta
+// keeps a nonzero entry iff it is the pivot position or above dropTol —
+// without rescanning the dense vector.
+func (b *basis) pushEtaIdx(r int, w []float64, wIdx []int, dropTol float64) {
+	lo := len(b.etaIdx)
+	for _, i := range wIdx {
+		v := w[i]
+		if i == r || math.Abs(v) > dropTol {
+			b.etaIdx = append(b.etaIdx, i)
+			b.etaVal = append(b.etaVal, v)
+		}
+	}
+	b.etaRow = append(b.etaRow, r)
+	b.etaPtr = append(b.etaPtr, len(b.etaIdx))
+	b.pushEtaMask(lo)
 }
 
 // ftran solves B·x = v in place (v is overwritten with the solution).
 func (b *basis) ftran(v []float64) {
 	b.lu.Solve(v, v)
+	b.ftranEtas(v)
+}
+
+// ftranSupp is ftran for a caller that knows a superset of v's nonzero
+// pattern (ascending original indices; entries outside are exact zeros),
+// letting the LU solve skip its pattern-discovery scan.
+func (b *basis) ftranSupp(v []float64, supp []int) {
+	b.lu.SolveSupp(v, v, supp)
+	b.ftranEtas(v)
+}
+
+func (b *basis) ftranEtas(v []float64) {
 	for k := 0; k < len(b.etaRow); k++ {
 		r := b.etaRow[k]
 		vr := v[r]
@@ -106,6 +168,9 @@ func (b *basis) ftran(v []float64) {
 
 // btran solves Bᵀ·y = v in place (v is overwritten with the solution).
 func (b *basis) btran(v []float64) {
+	if b.m >= 64 && len(b.etaRow) >= 4 && b.btranSparse(v, -1) {
+		return
+	}
 	for k := len(b.etaRow) - 1; k >= 0; k-- {
 		r := b.etaRow[k]
 		lo, hi := b.etaPtr[k], b.etaPtr[k+1]
@@ -122,4 +187,103 @@ func (b *basis) btran(v []float64) {
 		v[r] = (v[r] - dot) / wr
 	}
 	b.lu.SolveTranspose(v, v)
+}
+
+// btranUnit is btran for v = e_seed (exactly one nonzero, at seed): the
+// sparse path's support scan is replaced by the known singleton pattern,
+// so it applies whenever the dimension gate passes, regardless of eta
+// count.
+func (b *basis) btranUnit(v []float64, seed int) {
+	if b.m >= 64 {
+		b.btranSparse(v, seed)
+		return
+	}
+	b.btran(v)
+}
+
+// btranSparse is the eta pass for sparse v, followed by the LU
+// transpose solve with the collected support: it tracks a superset of
+// v's support in a bitset and skips etas whose index set misses it
+// while v[r] is zero — for those, the dot is a sum of exact zeros and
+// the update would store (±0−±0)/w_r, so skipping changes only the
+// sign of a zero. Non-skipped etas run the dense path's exact gather.
+// seed ≥ 0 asserts v's support is exactly {seed}, skipping the scan.
+// Returns false (having done nothing) when v is too dense to pay off.
+func (b *basis) btranSparse(v []float64, seed int) bool {
+	words := b.maskWords()
+	if cap(b.sup) < words {
+		b.sup = make([]uint64, words)
+	}
+	sup := b.sup[:words]
+	for i := range sup {
+		sup[i] = 0
+	}
+	sw := b.supWords[:0]
+	si := b.supIdx[:0]
+	if seed >= 0 {
+		sw = append(sw, int32(seed>>6))
+		sup[seed>>6] |= 1 << (uint(seed) & 63)
+		si = append(si, seed)
+	} else {
+		nnz := 0
+		for i, x := range v {
+			if x != 0 {
+				w := i >> 6
+				if sup[w] == 0 {
+					sw = append(sw, int32(w))
+				}
+				sup[w] |= 1 << (uint(i) & 63)
+				si = append(si, i)
+				nnz++
+			}
+		}
+		if nnz > b.m/8 {
+			b.supWords, b.supIdx = sw, si
+			return false
+		}
+	}
+	for k := len(b.etaRow) - 1; k >= 0; k-- {
+		r := b.etaRow[k]
+		if v[r] == 0 {
+			mask := b.etaMask[k*words:]
+			hit := false
+			for _, w := range sw {
+				if mask[w]&sup[w] != 0 {
+					hit = true
+					break
+				}
+			}
+			// The mask includes r itself, but v[r] == 0 means r's bit
+			// cannot be the one that hit.
+			if !hit {
+				continue
+			}
+		}
+		lo, hi := b.etaPtr[k], b.etaPtr[k+1]
+		var dot float64
+		var wr float64
+		for t := lo; t < hi; t++ {
+			i := b.etaIdx[t]
+			if i == r {
+				wr = b.etaVal[t]
+				continue
+			}
+			dot += b.etaVal[t] * v[i]
+		}
+		v[r] = (v[r] - dot) / wr
+		if bit := uint64(1) << (uint(r) & 63); sup[r>>6]&bit == 0 {
+			if sup[r>>6] == 0 {
+				sw = append(sw, int32(r>>6))
+			}
+			sup[r>>6] |= bit
+			si = append(si, r)
+		}
+	}
+	b.supWords, b.supIdx = sw, si
+	// The collected indices are a superset of v's support (a processed
+	// position may have landed on an exact zero); entries outside are
+	// untouched zeros. The LU layer filters to actual nonzeros, so the
+	// solve matches the plain SolveTranspose path.
+	b.lu.SolveTransposeSupp(v, v, si)
+	return true
 }

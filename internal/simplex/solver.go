@@ -102,6 +102,11 @@ type Options struct {
 	RefactorEvery int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// WarmStart, when non-nil, seeds the solve with a previously
+	// exported basis, skipping phase 1 when it is primal feasible for
+	// this problem. Invalid or infeasible bases fall back to the cold
+	// two-phase start; the result is the same optimum either way.
+	WarmStart *Basis
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -125,6 +130,10 @@ type Solution struct {
 	Y          []float64 // length m duals (row multipliers)
 	D          []float64 // length n reduced costs c − Aᵀy
 	Iterations int       // total simplex iterations (both phases)
+	// Basis is the optimal basis in exportable form, present when the
+	// solve is Optimal with no artificial variable basic. Feed it to
+	// Options.WarmStart to accelerate a related solve.
+	Basis *Basis
 }
 
 // variable states
@@ -134,6 +143,28 @@ const (
 	stUpper
 	stFree // nonbasic at value 0, both bounds infinite
 )
+
+// Exported variable statuses, as recorded in a Basis. They are the
+// internal state codes by definition, so import/export is a copy.
+const (
+	VarBasic = stBasic
+	VarLower = stLower
+	VarUpper = stUpper
+	VarFree  = stFree
+)
+
+// Basis is an exported optimal basis: the states of the structural
+// variables of a solve that terminated Optimal with every artificial
+// variable nonbasic. It can warm-start a later solve of a problem with
+// the same dimensions (Options.WarmStart); the solver validates it
+// against the new problem and silently falls back to a cold start when
+// it does not fit (wrong dimensions, wrong basic count, a state
+// incompatible with the new bounds, a singular basis matrix, or a
+// primal-infeasible starting point).
+type Basis struct {
+	M, N  int    // dimensions of the problem that produced it
+	State []int8 // length N: VarBasic/VarLower/VarUpper/VarFree
+}
 
 type solver struct {
 	prob Problem
@@ -160,9 +191,52 @@ type solver struct {
 	wIdx []int // nonzero positions of w after ftran
 
 	// Reduced costs maintained incrementally across pivots and Devex
-	// reference weights, both length total.
-	d  []float64
-	dw []float64
+	// reference weights, interleaved (ddw[2j] = reduced cost of j,
+	// ddw[2j+1] = Devex weight): the pricing sweep reads both per
+	// column, and interleaving halves its cache-line traffic.
+	ddw []float64
+
+	// Row-major (CSR) view of A, built once per solve: the pricing
+	// sweep accumulates the pivot row α_r = ρᵀA by rows of A with
+	// nonzero ρ_i instead of one sparse dot per nonbasic column. Valid
+	// only when every column of A stores its rows ascending (csrOK) —
+	// then per-column accumulation order matches ColDot's and the
+	// floats are identical. arj is the length-total accumulator,
+	// zeroed again after every sweep.
+	rowPtr  []int32
+	rowCol  []int32
+	rowVal  []float64
+	csrOK   bool
+	arj     []float64
+	suppOne [1]int
+	// Deduplicated list of columns the current pivot row touches, with
+	// a generation-stamped membership test (no clearing between pivots).
+	touched  []int32
+	stamp    []int32
+	stampGen int32
+
+	// Nonbasic index list, rebuilt per phase and maintained across
+	// pivots (swap-remove the entering column, append the leaving one):
+	// the pricing sweep visits only nonbasic columns instead of testing
+	// state over all of them. nbPos[j] is j's position, -1 when basic.
+	nbList []int32
+	nbPos  []int32
+	// fixed[j] caches lb(j) == ub(j), refreshed with the nonbasic list
+	// (bounds only change at phase transitions, which rebuild it).
+	fixed []bool
+
+	// One-pivot price cache: the pivot's pricing sweep already sees
+	// every nonbasic column with its final reduced cost and Devex
+	// weight, so it records the next entering candidate (argmax of
+	// d²/w, smallest index on ties — exactly what the ascending price
+	// scan would select). Any event that perturbs d, dw, or a state
+	// outside the sweep's view (refactor refresh, Devex reset, bound
+	// flip, Bland mode) simply leaves the cache invalid and price
+	// falls back to the full scan.
+	cacheJ     int
+	cacheDir   float64
+	cacheScore float64
+	cacheOK    bool
 
 	bland       bool    // Bland's rule anti-cycling mode
 	artFixed    bool    // artificial upper bounds pinned to 0 (phase 2)
@@ -214,12 +288,62 @@ func solveOnce(p *Problem, opt Options, minPiv float64) (*Solution, error) {
 		w:       make([]float64, m),
 		v2:      make([]float64, m),
 		rho:     make([]float64, m),
-		d:       make([]float64, n+m),
-		dw:      make([]float64, n+m),
+		ddw:     make([]float64, 2*(n+m)),
+		touched: make([]int32, 0, n+m),
+		stamp:   make([]int32, n+m),
 		wIdx:    make([]int, 0, m),
+		arj:     make([]float64, n+m),
+		nbList:  make([]int32, 0, n+m),
+		nbPos:   make([]int32, n+m),
+		fixed:   make([]bool, n+m),
 		minPiv:  minPiv,
 	}
+	s.buildCSR()
 	return s.run()
+}
+
+// buildCSR builds the row-major view of A for the pricing sweep. The
+// sweep's float-exactness argument needs ascending rows within each
+// column; a matrix violating that (none of ours do — sparse.Builder
+// sorts) simply keeps the column-dot path.
+func (s *solver) buildCSR() {
+	a := s.prob.A
+	for j := 0; j < a.Cols; j++ {
+		lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+		for k := lo + 1; k < hi; k++ {
+			if a.RowIdx[k-1] >= a.RowIdx[k] {
+				s.csrOK = false
+				return
+			}
+		}
+	}
+	nnz := a.Nnz()
+	s.rowPtr = make([]int32, s.m+1)
+	s.rowCol = make([]int32, nnz)
+	s.rowVal = make([]float64, nnz)
+	counts := make([]int32, s.m)
+	for _, i := range a.RowIdx {
+		counts[i]++
+	}
+	for i := 0; i < s.m; i++ {
+		s.rowPtr[i+1] = s.rowPtr[i] + counts[i]
+	}
+	next := make([]int32, s.m)
+	copy(next, s.rowPtr[:s.m])
+	// Column-major traversal fills each row's entries in ascending
+	// column order (not that the sweep's exactness needs it: each
+	// column gets exactly one entry per row).
+	for j := 0; j < a.Cols; j++ {
+		lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+		for k := lo; k < hi; k++ {
+			i := a.RowIdx[k]
+			p := next[i]
+			s.rowCol[p] = int32(j)
+			s.rowVal[p] = a.Val[k]
+			next[i] = p + 1
+		}
+	}
+	s.csrOK = true
 }
 
 // value returns the current value of a nonbasic variable.
@@ -279,6 +403,16 @@ func (s *solver) logf(format string, args ...any) {
 }
 
 func (s *solver) run() (*Solution, error) {
+	if s.opt.WarmStart != nil && s.tryWarmStart() {
+		// The warm basis is primal feasible: phase 2 directly.
+		status, err := s.iterate(2)
+		if err != nil {
+			return nil, err
+		}
+		return s.finish(status), nil
+	}
+	s.artFixed = false // shed any residue of a rejected warm start
+
 	s.initBasis()
 
 	// Phase 1: minimize the sum of artificial variables.
@@ -330,6 +464,79 @@ func (s *solver) basicValueOf(j int) float64 {
 		return s.xB[r]
 	}
 	return s.value(j)
+}
+
+// tryWarmStart attempts to install Options.WarmStart as the starting
+// basis: validate it against this problem, factorize, recompute the
+// basic values, and check primal feasibility. On success the solver is
+// ready for phase 2 (artificials nonbasic and pinned to zero, real
+// costs installed). On failure the solver falls back to the cold start,
+// which rebuilds every field tryWarmStart touched.
+func (s *solver) tryWarmStart() bool {
+	wb := s.opt.WarmStart
+	if wb.M != s.m || wb.N != s.n || len(wb.State) != s.n {
+		return false
+	}
+	nBasic := 0
+	for j := 0; j < s.n; j++ {
+		l, u := s.prob.L[j], s.prob.U[j]
+		switch wb.State[j] {
+		case stBasic:
+			nBasic++
+		case stLower:
+			if math.IsInf(l, -1) {
+				return false
+			}
+		case stUpper:
+			if math.IsInf(u, 1) {
+				return false
+			}
+		case stFree:
+			if !math.IsInf(l, -1) || !math.IsInf(u, 1) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	if nBasic != s.m {
+		return false
+	}
+	r := 0
+	for j := 0; j < s.n; j++ {
+		s.state[j] = wb.State[j]
+		if wb.State[j] == stBasic {
+			s.basisOf[r] = j
+			s.inRow[j] = r
+			r++
+		} else {
+			s.inRow[j] = -1
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		j := s.n + i
+		s.artSign[i] = 1
+		s.state[j] = stLower
+		s.inRow[j] = -1
+	}
+	s.artFixed = true // artificials stay fixed at zero
+	if err := s.refactor(); err != nil {
+		return false // singular basis matrix
+	}
+	// refactor recomputed xB from scratch; verify primal feasibility
+	// with the same scaled tolerance the phase-1 exit check uses.
+	tol := s.opt.Tol * (1 + sparse.InfNorm(s.prob.B)) * 10
+	for i := 0; i < s.m; i++ {
+		j := s.basisOf[i]
+		if v := s.xB[i]; v < s.lb(j)-tol || v > s.ub(j)+tol {
+			return false
+		}
+	}
+	copy(s.cost[:s.n], s.prob.C)
+	for i := 0; i < s.m; i++ {
+		s.cost[s.n+i] = 0
+	}
+	return true
 }
 
 // initBasis places structural variables on their nearest finite bound
@@ -441,24 +648,45 @@ func (s *solver) recomputeReducedCosts() {
 	s.computeDuals()
 	for j := 0; j < s.total; j++ {
 		if s.state[j] == stBasic {
-			s.d[j] = 0
+			s.ddw[2*j] = 0
 			continue
 		}
-		s.d[j] = s.cost[j] - s.colDot(j, s.y)
+		s.ddw[2*j] = s.cost[j] - s.colDot(j, s.y)
 	}
+	// Refreshing also re-sorts the nonbasic list: sweep order never
+	// affects the result, but a near-ascending list keeps the pricing
+	// sweep's memory accesses sequential.
+	s.rebuildNonbasic()
+	s.cacheOK = false
 }
 
 // resetDevex restores the Devex reference framework.
 func (s *solver) resetDevex() {
-	for j := range s.dw {
-		s.dw[j] = 1
+	for j := 0; j < s.total; j++ {
+		s.ddw[2*j+1] = 1
+	}
+	s.cacheOK = false
+}
+
+// rebuildNonbasic refreshes the nonbasic index list and the fixed-bound
+// cache from the states.
+func (s *solver) rebuildNonbasic() {
+	s.nbList = s.nbList[:0]
+	for j := 0; j < s.total; j++ {
+		s.fixed[j] = s.lb(j) == s.ub(j)
+		if s.state[j] == stBasic {
+			s.nbPos[j] = -1
+			continue
+		}
+		s.nbPos[j] = int32(len(s.nbList))
+		s.nbList = append(s.nbList, int32(j))
 	}
 }
 
 // eligible reports whether nonbasic variable j can improve the
 // objective, and in which direction (+1 increase, −1 decrease).
 func (s *solver) eligible(j int) (dir float64, ok bool) {
-	d := s.d[j]
+	d := s.ddw[2*j]
 	tol := s.opt.Tol
 	switch s.state[j] {
 	case stLower:
@@ -487,6 +715,11 @@ func (s *solver) eligible(j int) (dir float64, ok bool) {
 // or Bland's smallest-index rule in anti-cycling mode. Returns -1 when
 // the basis is optimal for the current costs.
 func (s *solver) price() (jEnter int, dir float64) {
+	if s.cacheOK && !s.bland {
+		s.cacheOK = false
+		return s.cacheJ, s.cacheDir
+	}
+	s.cacheOK = false
 	if s.bland {
 		for j := 0; j < s.total; j++ {
 			if s.state[j] == stBasic {
@@ -507,8 +740,8 @@ func (s *solver) price() (jEnter int, dir float64) {
 		if !ok {
 			continue
 		}
-		dj := s.d[j]
-		score := dj * dj / s.dw[j]
+		dj := s.ddw[2*j]
+		score := dj * dj / s.ddw[2*j+1]
 		if score > bestScore {
 			best, bestScore, bestDir = j, score, dr
 		}
@@ -526,32 +759,131 @@ func (s *solver) updatePricingAfterPivot(q, r int, alpha float64, leaving int) {
 		s.rho[i] = 0
 	}
 	s.rho[r] = 1
-	s.bas.btran(s.rho)
+	s.bas.btranUnit(s.rho, r)
 
-	dq := s.d[q]
-	wq := s.dw[q]
+	dq := s.ddw[2*q]
+	wq := s.ddw[2*q+1]
 	ratio := dq / alpha
 	gamma := wq / (alpha * alpha)
 	maxW := 1.0
-	for j := 0; j < s.total; j++ {
-		if s.state[j] == stBasic || j == q {
-			continue
-		}
-		arj := s.colDot(j, s.rho)
-		if arj != 0 {
-			s.d[j] -= ratio * arj
-			if w := arj * arj * gamma; w > s.dw[j] {
-				s.dw[j] = w
+	if s.csrOK {
+		// Accumulate α_r = ρᵀA by rows with nonzero ρ. Per column the
+		// contributions arrive in ascending row order — the order
+		// ColDot adds them — and skipping ρ_i = 0 rows only skips
+		// adding ±0, so each accumulated α_rj is the ColDot float
+		// (up to the sign of an unobservable zero).
+		arj := s.arj
+		s.stampGen++
+		gen := s.stampGen
+		tl := s.touched[:0]
+		for i := 0; i < s.m; i++ {
+			ri := s.rho[i]
+			if ri == 0 {
+				continue
+			}
+			for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+				c := s.rowCol[k]
+				arj[c] += s.rowVal[k] * ri
+				if s.stamp[c] != gen {
+					s.stamp[c] = gen
+					tl = append(tl, c)
+				}
+			}
+			c := int32(s.n + i)
+			arj[c] += s.artSign[i] * ri
+			if s.stamp[c] != gen {
+				s.stamp[c] = gen
+				tl = append(tl, c)
 			}
 		}
-		if s.dw[j] > maxW {
-			maxW = s.dw[j]
+		s.touched = tl
+		// Apply the reduced-cost / weight deltas over the touched
+		// columns only (per-column updates are independent of order),
+		// clearing the accumulator as we go.
+		for _, c := range tl {
+			j := int(c)
+			v := arj[j]
+			arj[j] = 0
+			if v == 0 || j == q || s.nbPos[j] < 0 {
+				continue
+			}
+			jj := 2 * j
+			s.ddw[jj] -= ratio * v
+			if w := v * v * gamma; w > s.ddw[jj+1] {
+				s.ddw[jj+1] = w
+			}
+		}
+		// Sweep the nonbasic list for the Devex weight max and the next
+		// price scan, fused: eligibility and the score are pure
+		// functions of the final d/dw/state, max is order-free, and the
+		// explicit smallest-index tie-break reproduces the ascending
+		// scan's first-argmax choice.
+		best, bestScore, bestDir := -1, 0.0, 0.0
+		tol := s.opt.Tol
+		for _, j32 := range s.nbList {
+			j := int(j32)
+			if j == q {
+				continue
+			}
+			jj := 2 * j
+			dj := s.ddw[jj]
+			wj := s.ddw[jj+1]
+			if wj > maxW {
+				maxW = wj
+			}
+			// Devex weights never drop below 1, so score ≤ dj²: a
+			// numerator strictly under the incumbent can neither beat
+			// it nor tie it, and eligibility need not be checked.
+			if a := dj * dj; a >= bestScore {
+				// eligible(j), inlined with the fixed-bound cache.
+				var dr float64
+				switch s.state[j] {
+				case stLower:
+					if dj < -tol && !s.fixed[j] {
+						dr = 1
+					}
+				case stUpper:
+					if dj > tol {
+						dr = -1
+					}
+				case stFree:
+					if dj < -tol {
+						dr = 1
+					} else if dj > tol {
+						dr = -1
+					}
+				}
+				if dr != 0 {
+					score := a / wj
+					if score > bestScore || (score == bestScore && j < best) {
+						best, bestScore, bestDir = j, score, dr
+					}
+				}
+			}
+		}
+		s.cacheJ, s.cacheScore, s.cacheDir = best, bestScore, bestDir
+		s.cacheOK = true
+	} else {
+		for j := 0; j < s.total; j++ {
+			if s.state[j] == stBasic || j == q {
+				continue
+			}
+			arj := s.colDot(j, s.rho)
+			if arj != 0 {
+				s.ddw[2*j] -= ratio * arj
+				if w := arj * arj * gamma; w > s.ddw[2*j+1] {
+					s.ddw[2*j+1] = w
+				}
+			}
+			if s.ddw[2*j+1] > maxW {
+				maxW = s.ddw[2*j+1]
+			}
 		}
 	}
 	// The leaving variable becomes nonbasic with reduced cost −d_q/α.
-	s.d[leaving] = -ratio
-	s.dw[leaving] = math.Max(gamma, 1)
-	s.d[q] = 0
+	s.ddw[2*leaving] = -ratio
+	s.ddw[2*leaving+1] = math.Max(gamma, 1)
+	s.ddw[2*q] = 0
 	if maxW > 1e10 {
 		s.resetDevex()
 	}
@@ -680,7 +1012,15 @@ func (s *solver) iterate(phase int) (Status, error) {
 			s.w[i] = 0
 		}
 		s.scatterCol(j, s.w)
-		s.bas.ftran(s.w)
+		// The scattered column's row index list is its support, so the
+		// LU solve can skip pattern discovery.
+		if j < s.n {
+			idx, _ := s.prob.A.Col(j)
+			s.bas.ftranSupp(s.w, idx)
+		} else {
+			s.suppOne[0] = j - s.n
+			s.bas.ftranSupp(s.w, s.suppOne[:])
+		}
 		s.wIdx = s.wIdx[:0]
 		for i, v := range s.w {
 			if v != 0 {
@@ -695,7 +1035,7 @@ func (s *solver) iterate(phase int) (Status, error) {
 		for _, i := range s.wIdx {
 			dq -= s.cost[s.basisOf[i]] * s.w[i]
 		}
-		s.d[j] = dq
+		s.ddw[2*j] = dq
 		if _, ok := s.eligible(j); !ok {
 			// The stored reduced cost was stale; the entry is now
 			// corrected, so re-price.
@@ -781,7 +1121,30 @@ func (s *solver) iterate(phase int) (Status, error) {
 		s.state[j] = stBasic
 		s.xB[r] = enterVal
 
-		s.bas.pushEta(r, s.w, 1e-12)
+		// Maintain the nonbasic list across the swap, and let the
+		// leaving column (absent from the pricing sweep) contend for
+		// the cached entering candidate under the same tie-break.
+		pq := s.nbPos[j]
+		lastPos := int32(len(s.nbList) - 1)
+		lj := s.nbList[lastPos]
+		s.nbList[pq] = lj
+		s.nbPos[lj] = pq
+		s.nbList = s.nbList[:lastPos]
+		s.nbPos[j] = -1
+		s.nbPos[leaving] = int32(len(s.nbList))
+		s.nbList = append(s.nbList, int32(leaving))
+		if s.cacheOK {
+			if dr, ok := s.eligible(leaving); ok {
+				dl := s.ddw[2*leaving]
+				score := dl * dl / s.ddw[2*leaving+1]
+				if score > s.cacheScore || (score == s.cacheScore && leaving < s.cacheJ) {
+					s.cacheJ, s.cacheScore, s.cacheDir = leaving, score, dr
+				}
+			}
+			s.cacheOK = s.cacheJ >= 0
+		}
+
+		s.bas.pushEtaIdx(r, s.w, s.wIdx, 1e-12)
 		s.pivots++
 		if s.pivots >= s.opt.RefactorEvery || s.bas.etaNnz() > 40*s.m {
 			if err := s.refactor(); err != nil {
@@ -825,6 +1188,20 @@ func (s *solver) finish(status Status) *Solution {
 	copy(sol.Y, s.y)
 	for j := 0; j < s.n; j++ {
 		sol.D[j] = s.prob.C[j] - s.prob.A.ColDot(j, s.y)
+	}
+	if status == Optimal {
+		exportable := true
+		for _, j := range s.basisOf {
+			if j >= s.n {
+				exportable = false
+				break
+			}
+		}
+		if exportable {
+			wb := &Basis{M: s.m, N: s.n, State: make([]int8, s.n)}
+			copy(wb.State, s.state[:s.n])
+			sol.Basis = wb
+		}
 	}
 	return sol
 }

@@ -1,0 +1,166 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// objTol is the relative tolerance for comparing the objectives of two
+// independent solves of the same LP (degenerate problems may terminate
+// at different optimal vertices, but the optimal value is unique).
+func objClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+// TestWarmStartSameProblem re-solves a problem from its own optimal
+// basis: the warm solve must agree on the objective, satisfy KKT, and
+// need (essentially) no pivots since it starts at an optimal vertex.
+func TestWarmStartSameProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(12)
+		n := m + r.Intn(15)
+		p := randomFeasibleLP(r, m, n)
+		cold, err := Solve(p, Options{})
+		if err != nil || cold.Status != Optimal {
+			t.Logf("seed %d: cold solve %v err=%v", seed, cold.Status, err)
+			return false
+		}
+		if cold.Basis == nil {
+			// Artificial stuck in the basis (degenerate); nothing to
+			// warm-start from, which is a legal outcome.
+			return true
+		}
+		warm, err := Solve(p, Options{WarmStart: cold.Basis})
+		if err != nil || warm.Status != Optimal {
+			t.Logf("seed %d: warm solve %v err=%v", seed, warm.Status, err)
+			return false
+		}
+		if !objClose(cold.Obj, warm.Obj) {
+			t.Logf("seed %d: cold obj %g, warm obj %g", seed, cold.Obj, warm.Obj)
+			return false
+		}
+		checkKKT(t, p, warm)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStartPerturbed warm-starts the solve of a perturbed problem
+// (objective and RHS nudged) from the unperturbed optimum and checks it
+// reaches the same optimal value a cold solve of the perturbed problem
+// finds.
+func TestWarmStartPerturbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(10)
+		n := m + 2 + r.Intn(12)
+		p := randomFeasibleLP(r, m, n)
+		base, err := Solve(p, Options{})
+		if err != nil || base.Status != Optimal || base.Basis == nil {
+			return true // nothing to carry over; covered elsewhere
+		}
+		pp := &Problem{
+			A: p.A,
+			B: append([]float64(nil), p.B...),
+			C: append([]float64(nil), p.C...),
+			L: p.L, U: p.U,
+		}
+		for j := range pp.C {
+			pp.C[j] += r.NormFloat64() * 0.01
+		}
+		for i := range pp.B {
+			pp.B[i] += r.NormFloat64() * 0.01
+		}
+		cold, errC := Solve(pp, Options{})
+		warm, errW := Solve(pp, Options{WarmStart: base.Basis})
+		if errC != nil || errW != nil {
+			t.Logf("seed %d: cold err %v, warm err %v", seed, errC, errW)
+			return false
+		}
+		if cold.Status != warm.Status {
+			t.Logf("seed %d: cold %v, warm %v", seed, cold.Status, warm.Status)
+			return false
+		}
+		if cold.Status != Optimal {
+			return true // perturbation made it infeasible for both
+		}
+		if !objClose(cold.Obj, warm.Obj) {
+			t.Logf("seed %d: cold obj %g, warm obj %g", seed, cold.Obj, warm.Obj)
+			return false
+		}
+		checkKKT(t, pp, warm)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStartInvalidFallsBack feeds deliberately broken bases and
+// checks the solver silently falls back to the cold path and still
+// finds the optimum.
+func TestWarmStartInvalidFallsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := randomFeasibleLP(r, 8, 14)
+	cold, err := Solve(p, Options{})
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("cold solve: %v err=%v", cold.Status, err)
+	}
+	bad := []*Basis{
+		{M: 7, N: 14, State: make([]int8, 14)},                                 // wrong row count
+		{M: 8, N: 13, State: make([]int8, 13)},                                 // wrong column count
+		{M: 8, N: 14, State: make([]int8, 14)},                                 // zero basic variables
+		{M: 8, N: 14, State: []int8{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}}, // garbage states
+	}
+	// A basis with the right counts but the wrong variables: basic on
+	// the first m columns regardless of structure (often singular or
+	// infeasible — either way the answer must not change).
+	wrong := &Basis{M: 8, N: 14, State: make([]int8, 14)}
+	for j := range wrong.State {
+		if j < 8 {
+			wrong.State[j] = VarBasic
+		} else {
+			wrong.State[j] = VarLower
+		}
+	}
+	bad = append(bad, wrong)
+	for i, wb := range bad {
+		sol, err := Solve(p, Options{WarmStart: wb})
+		if err != nil {
+			t.Fatalf("bad basis %d: error %v", i, err)
+		}
+		if sol.Status != Optimal || !objClose(sol.Obj, cold.Obj) {
+			t.Fatalf("bad basis %d: status %v obj %g, want optimal obj %g",
+				i, sol.Status, sol.Obj, cold.Obj)
+		}
+	}
+}
+
+// TestWarmStartSkipsPhase1 checks the intended effect: re-solving from
+// an optimal basis takes (far) fewer iterations than solving cold.
+func TestWarmStartSkipsPhase1(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	p := randomFeasibleLP(r, 30, 60)
+	cold, err := Solve(p, Options{})
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("cold solve: %v err=%v", cold.Status, err)
+	}
+	if cold.Basis == nil {
+		t.Skip("cold optimum kept an artificial basic; no exportable basis")
+	}
+	warm, err := Solve(p, Options{WarmStart: cold.Basis})
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm solve: %v err=%v", warm.Status, err)
+	}
+	if warm.Iterations > cold.Iterations/2 {
+		t.Fatalf("warm solve took %d iterations, cold took %d: warm start is not engaging",
+			warm.Iterations, cold.Iterations)
+	}
+}

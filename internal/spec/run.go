@@ -136,6 +136,7 @@ func Run(ctx context.Context, s Spec) (*RunReport, error) {
 		MaxEvents:   ns.Options.MaxEvents,
 		Clairvoyant: ns.Options.Clairvoyant,
 		CheckEvery:  ns.Options.CheckEvery,
+		WarmLP:      ns.Options.WarmLP,
 	})
 	if err != nil {
 		return nil, err

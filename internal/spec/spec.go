@@ -122,6 +122,11 @@ type Options struct {
 	CheckEvery int `json:"check_every,omitempty"`
 	// MaxEvents caps the simulator event loop (0 = 1<<20).
 	MaxEvents int `json:"max_events,omitempty"`
+	// WarmLP carries the LP basis of each "epoch:<lp-scheduler>"
+	// re-plan into the next one. Off by default: warm solves may
+	// land on a different optimal vertex of a degenerate LP, so
+	// traces are deterministic but not bit-identical to cold runs.
+	WarmLP bool `json:"warm_lp,omitempty"`
 	// PathsK is the candidate path count per flow for the multi path
 	// model on generated instances (0 = 3).
 	PathsK int `json:"paths_k,omitempty"`
@@ -252,8 +257,8 @@ func (s Spec) Normalized() (Spec, error) {
 	if math.IsNaN(s.Options.Epoch) || math.IsInf(s.Options.Epoch, 0) || s.Options.Epoch < 0 {
 		return s, fmt.Errorf("spec: options epoch = %g", s.Options.Epoch)
 	}
-	if s.Policy == "" && (s.Options.Epoch != 0 || s.Options.Clairvoyant || s.Options.CheckEvery != 0 || s.Options.MaxEvents != 0) {
-		return s, fmt.Errorf("spec: epoch/clairvoyant/check_every/max_events are online options; scheduler %q is offline", s.Scheduler)
+	if s.Policy == "" && (s.Options.Epoch != 0 || s.Options.Clairvoyant || s.Options.CheckEvery != 0 || s.Options.MaxEvents != 0 || s.Options.WarmLP) {
+		return s, fmt.Errorf("spec: epoch/clairvoyant/check_every/max_events/warm_lp are online options; scheduler %q is offline", s.Scheduler)
 	}
 	if s.Options.PathsK == 0 {
 		s.Options.PathsK = DefaultPathsK

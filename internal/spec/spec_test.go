@@ -133,7 +133,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		},
 		Options: Options{
 			Epoch: 2, Clairvoyant: true, CheckEvery: 4, MaxEvents: 99,
-			Trials: 1, Seed: 7,
+			WarmLP: true, Trials: 1, Seed: 7,
 		},
 	}
 	roundTrip(t, online)
