@@ -13,11 +13,24 @@
 //	                  cells finish (chunked; consume as a stream)
 //	GET  /v1/registry → the catalog of scheduler/policy/topology/
 //	                  workload/model/preset names a Spec may use
+//	GET  /metrics     → Prometheus text exposition of the server's
+//	                  telemetry registry: per-route request counts and
+//	                  latency histograms, cache hits/misses/evictions,
+//	                  worker-pool wait time, plus everything the runs
+//	                  themselves record (sim events, simplex pivots,
+//	                  warm-start outcomes, …)
 //	GET  /healthz     → 200 ok
 //
 // Usage:
 //
-//	coflowd -addr :8321 -workers 8 -cache 256
+//	coflowd -addr :8321 -workers 8 -cache 256 -drain 15s
+//
+// Requests are logged as structured JSON lines (log/slog) to stderr,
+// one per request, carrying a per-process request ID, route, status,
+// bytes written, and duration. SIGINT/SIGTERM shut the server down
+// gracefully: the listener closes immediately, in-flight requests —
+// including streaming sweeps — get -drain to finish, then remaining
+// connections are force-closed.
 //
 // Validation errors (unknown names, conflicting fields, JSON typos)
 // return 400 with the registry listing in the body; execution
@@ -31,13 +44,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/spec"
 
 	repro "repro"
@@ -49,13 +68,17 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing specs (the bounded worker pool)")
 		cacheN  = flag.Int("cache", 256, "max cached run reports, keyed by normalized spec (0 disables)")
 		cacheMB = flag.Int("cache-mb", 64, "max total megabytes of cached reports")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := newServer(*workers, *cacheN)
+	srv.log = logger
 	srv.pprof = *pprofOn
 	srv.cache.maxBytes = int64(*cacheMB) << 20
-	log.Printf("coflowd: listening on %s (workers=%d, cache=%d entries / %d MB)", *addr, *workers, *cacheN, *cacheMB)
+	logger.Info("listening", "addr", *addr, "workers", *workers,
+		"cache_entries", *cacheN, "cache_mb", *cacheMB)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.routes(),
@@ -67,7 +90,30 @@ func main() {
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(hs.ListenAndServe())
+
+	// Serve until the listener dies or a signal asks for shutdown.
+	// Shutdown closes the listener at once and waits for in-flight
+	// requests (streaming sweeps included) up to -drain; whatever is
+	// still running then is force-closed so the process always exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+		logger.Info("shutdown: draining in-flight requests", "deadline", drain.String())
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			logger.Warn("shutdown: drain deadline exceeded, closing connections", "err", err)
+			hs.Close()
+		}
+		logger.Info("shutdown: done")
+	}
 }
 
 // maxBodyBytes bounds request documents; inline instances are the
@@ -75,32 +121,59 @@ func main() {
 // laptop-scale instance.
 const maxBodyBytes = 64 << 20
 
+// latencyBounds bucket request latencies from sub-millisecond registry
+// reads to multi-minute sweeps.
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+
 // server is the coflowd request handler: a semaphore bounding
-// concurrently executing specs and a per-spec report cache.
+// concurrently executing specs, a per-spec report cache, and the
+// telemetry registry every run records into.
 type server struct {
 	sem   chan struct{}
 	cache *reportCache
 	pprof bool // mount /debug/pprof/ (opt-in: profiling is not for open ports)
+
+	reg      *obs.Registry
+	log      *slog.Logger
+	semWait  *obs.Timing
+	inflight *obs.Gauge
+
+	// reqPrefix + reqSeq mint per-process request IDs ("a1b2c3d4-17"):
+	// unique within a process, sortable by arrival, and greppable
+	// across the structured log stream.
+	reqPrefix string
+	reqSeq    atomic.Int64
 }
 
 func newServer(workers, cacheEntries int) *server {
 	if workers < 1 {
 		workers = 1
 	}
-	return &server{
-		sem:   make(chan struct{}, workers),
-		cache: newReportCache(cacheEntries),
+	reg := obs.NewRegistry()
+	s := &server{
+		sem:       make(chan struct{}, workers),
+		cache:     newReportCache(cacheEntries),
+		reg:       reg,
+		log:       slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		semWait:   reg.Timing("http_semaphore_wait"),
+		inflight:  reg.Gauge("http_inflight_requests"),
+		reqPrefix: fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
 	}
+	s.cache.hits = reg.Counter("cache_hits_total")
+	s.cache.misses = reg.Counter("cache_misses_total")
+	s.cache.evictions = reg.Counter("cache_evictions_total")
+	return s
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("GET /v1/registry", s.instrument("/v1/registry", s.handleRegistry))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 	if s.pprof {
 		// net/http/pprof registers on DefaultServeMux in its init;
 		// mirror those handlers here so they only exist when asked for.
@@ -113,11 +186,79 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
+// instrument wraps a route handler with the observability envelope:
+// a request ID, the in-flight gauge, a per-route latency histogram, a
+// per-route-and-status request counter, and one structured log line
+// per request. The histogram is registered at route-construction time
+// so every route exports a (possibly empty) latency series from boot.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.reg.Histogram(`http_request_seconds{route="`+route+`"}`, latencyBounds)
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqPrefix + "-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-Id", id)
+		s.inflight.Add(1)
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		d := time.Since(t0)
+		s.inflight.Add(-1)
+		lat.Observe(d.Seconds())
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.reg.Counter(`http_requests_total{route="` + route + `",code="` + strconv.Itoa(status) + `"}`).Inc()
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(d.Microseconds())/1e3,
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// statusWriter records the status code and body size a handler
+// produced, forwarding Flush so NDJSON sweep streaming keeps working
+// through the instrumentation wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // acquire takes a worker slot, honoring request cancellation while
-// queued.
+// queued, and records how long the request waited for one.
 func (s *server) acquire(ctx context.Context) error {
+	t0 := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		s.semWait.Observe(time.Since(t0))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -184,7 +325,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err, false)
 		return
 	}
-	rep, err := repro.Run(r.Context(), sp)
+	rep, err := repro.RunWith(r.Context(), sp, s.reg)
 	s.release()
 	if err != nil {
 		httpError(w, err, false)
@@ -240,14 +381,15 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // gatedRunCell executes one sweep cell while holding a server worker
-// slot. A cancelled request queued on the pool reports the context
-// error as its cell outcome.
+// slot, recording into the server-wide registry so /metrics covers
+// sweep work too. A cancelled request queued on the pool reports the
+// context error as its cell outcome.
 func (s *server) gatedRunCell(ctx context.Context, i int, cellSpec repro.Spec) *repro.SweepCell {
 	if err := s.acquire(ctx); err != nil {
 		return &repro.SweepCell{Index: i, Spec: cellSpec, Error: err.Error(), Err: err}
 	}
 	defer s.release()
-	return spec.RunCell(ctx, i, cellSpec)
+	return spec.RunCellWith(ctx, i, cellSpec, s.reg)
 }
 
 func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
@@ -255,6 +397,14 @@ func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(repro.Registries())
+}
+
+// handleMetrics serves the server-wide telemetry registry in the
+// Prometheus text exposition format (hand-rolled by internal/obs; no
+// client library dependency).
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 // reportCache is a bounded FIFO cache of marshalled RunReports keyed
@@ -272,6 +422,9 @@ type reportCache struct {
 	bytes    int64
 	order    []string
 	m        map[string][]byte
+
+	// hits/misses/evictions are optional telemetry handles (nil-safe).
+	hits, misses, evictions *obs.Counter
 }
 
 func newReportCache(max int) *reportCache {
@@ -280,11 +433,17 @@ func newReportCache(max int) *reportCache {
 
 func (c *reportCache) get(key string) ([]byte, bool) {
 	if c.max <= 0 {
+		c.misses.Inc()
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	b, ok := c.m[key]
+	if ok {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
 	return b, ok
 }
 
@@ -306,6 +465,7 @@ func (c *reportCache) put(key string, body []byte) {
 		c.order = c.order[1:]
 		c.bytes -= int64(len(oldest) + len(c.m[oldest]))
 		delete(c.m, oldest)
+		c.evictions.Inc()
 	}
 	c.m[key] = body
 	c.order = append(c.order, key)

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -16,9 +18,17 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(2, 8).routes())
+	ts := httptest.NewServer(quietServer(2, 8).routes())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// quietServer is newServer with request logging discarded, so test
+// output stays readable.
+func quietServer(workers, cacheEntries int) *server {
+	s := newServer(workers, cacheEntries)
+	s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return s
 }
 
 const tinySpec = `{"topology":"line:n=4","workload":{"kind":"fb","coflows":3,"seed":7},"scheduler":"sincronia-greedy","validate":true}`
@@ -236,7 +246,7 @@ func TestReportCacheEviction(t *testing.T) {
 // semaphore instead of multiplying it, and the gating cannot
 // deadlock.
 func TestSweepSharesServerPool(t *testing.T) {
-	ts := httptest.NewServer(newServer(1, 0).routes())
+	ts := httptest.NewServer(quietServer(1, 0).routes())
 	defer ts.Close()
 	done := make(chan error, 2)
 	go func() {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpoint drives a few requests through every layer —
+// an LP scheduler run (simplex series), an online policy run (sim
+// series), a repeat run (cache hit) — then scrapes /metrics and
+// asserts the Prometheus text carries every metric family the
+// observability contract promises.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	lpSpec := `{"topology":"line:n=4","workload":{"kind":"fb","coflows":3,"seed":7},"scheduler":"heuristic"}`
+	simSpec := `{"topology":"line:n=4","workload":{"kind":"fb","coflows":3,"seed":7},"policy":"las"}`
+	for _, body := range []string{lpSpec, lpSpec, simSpec} {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	for _, want := range []string{
+		// Server metrics.
+		`http_requests_total{route="/v1/run",code="200"} 3`,
+		`http_request_seconds_bucket{route="/v1/run",le="+Inf"} 3`,
+		`http_inflight_requests`,
+		`http_semaphore_wait_seconds_total`,
+		`http_semaphore_wait_events_total 2`, // cache hit never queues
+		`cache_hits_total 1`,
+		`cache_misses_total 2`,
+		`cache_evictions_total 0`,
+		// Run-pipeline metrics recorded into the same registry.
+		`simplex_pivots_total`,
+		`simplex_solves_total 1`,
+		`engine_schedule_events_total{scheduler="heuristic"} 1`,
+		`sim_events_total{kind="arrival"} 3`,
+		`sim_alloc_calls_total`,
+		// Exposition-format hygiene.
+		"# TYPE http_request_seconds histogram",
+		"# TYPE simplex_pivots_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n--- exposition ---\n%s", want, text)
+		}
+	}
+}
+
+// TestShutdownDrainsStream starts a real http.Server on a loopback
+// listener, opens a streaming sweep, and calls Shutdown while the
+// stream is live: the client must still receive every NDJSON cell
+// (graceful drain), and Shutdown must return cleanly afterwards.
+func TestShutdownDrainsStream(t *testing.T) {
+	srv := quietServer(2, 0)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.routes()}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(l) }()
+
+	sweep := `{"base":{"topology":"line:n=4","workload":{"kind":"fb","coflows":2},"scheduler":"sincronia-greedy"},"seeds":[1,2,3,4,5,6]}`
+	resp, err := http.Post("http://"+l.Addr().String()+"/v1/sweep", "application/json", strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+
+	// The response header is in, so the request is in flight; shut the
+	// server down underneath it.
+	shut := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shut <- hs.Shutdown(ctx)
+	}()
+
+	cells := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			cells++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream broke mid-shutdown: %v", err)
+	}
+	if cells != 6 {
+		t.Fatalf("received %d cells through shutdown, want 6", cells)
+	}
+	if err := <-shut; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}

@@ -23,6 +23,7 @@
 //	coflowsim -online -topo leaf-spine:leaves=4,spines=2,hosts=2 -validate
 //	coflowsim -bench                     # benchmark-regression harness → BENCH_sim.json
 //	coflowsim -bench -bench-tier 100k -bench-tol 0.25 -v
+//	coflowsim -spec spec.json -stats     # telemetry snapshot as JSON on stderr
 //
 // Every branch compiles its flags down to the declarative Spec of
 // internal/spec and executes through the unified Run/Sweep front door
@@ -58,6 +59,11 @@
 // previous -bench-out content); a stable metric regressing beyond
 // -bench-tol exits non-zero, while a missing baseline just records the
 // first report.
+//
+// -stats attaches a telemetry registry (internal/obs) to whatever the
+// invocation runs — -spec, -run, -scheduler, or -online — and prints
+// the aggregated snapshot as indented JSON to stderr after the normal
+// output. Results are bit-identical with or without it.
 //
 // -cpuprofile and -memprofile write runtime/pprof profiles of the
 // selected action (most usefully -bench) for offline analysis with
@@ -133,6 +139,8 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		statsF = flag.Bool("stats", false, "print the run's telemetry registry as JSON to stderr at exit (-spec, -scheduler, -online)")
 	)
 	flag.Parse()
 
@@ -154,13 +162,22 @@ func main() {
 		topoSpec = *topoF
 	}
 
+	// -stats accumulates every run's internal counters (simplex pivots,
+	// sim events, per-stage timings) into one registry, dumped as JSON
+	// to stderr after the selected action finishes. Recording is
+	// observational only: results are identical with or without it.
+	var statsReg *repro.Telemetry
+	if *statsF {
+		statsReg = repro.NewTelemetry()
+	}
+
 	switch {
 	case *topoF == "list":
 		for _, name := range topo.Families() {
 			fmt.Println(name)
 		}
 	case *specFile != "":
-		if err := runSpec(ctx, *specFile, *workers); err != nil {
+		if err := runSpec(ctx, *specFile, *workers, statsReg); err != nil {
 			fatal(err)
 		}
 	case *benchF:
@@ -179,7 +196,7 @@ func main() {
 			spec: *policy, runFile: *runFile, kind: *workloadF, topology: topoSpec,
 			coflows: *coflows, epoch: *epoch, load: *load,
 			slots: *slots, trials: *trials, seed: *seed, workers: *workers,
-			validate: *validF,
+			validate: *validF, obs: statsReg,
 		})
 		if err != nil {
 			fatal(err)
@@ -189,7 +206,7 @@ func main() {
 			spec: *scheduler, runFile: *runFile, modelStr: *modelFlag,
 			genKind: *gen, topology: topoSpec, coflows: *coflows,
 			slots: *slots, trials: *trials, seed: *seed, workers: *workers,
-			validate: *validF,
+			validate: *validF, obs: statsReg,
 		})
 		if err != nil {
 			fatal(err)
@@ -234,6 +251,14 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if statsReg != nil {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(statsReg.Snapshot()); err != nil {
+			fatal(fmt.Errorf("-stats: %w", err))
+		}
 	}
 }
 
@@ -294,7 +319,7 @@ func startProfiles(cpu, mem string) (func(), error) {
 // cells finish, so a 100k-cell grid can be piped without buffering.
 // The report JSON is identical to what coflowd's POST /v1/run returns
 // for the same document.
-func runSpec(ctx context.Context, arg string, workers int) error {
+func runSpec(ctx context.Context, arg string, workers int, reg *repro.Telemetry) error {
 	var single *repro.Spec
 	var sweep *repro.SweepSpec
 	if name, ok := strings.CutPrefix(arg, "preset:"); ok {
@@ -316,7 +341,7 @@ func runSpec(ctx context.Context, arg string, workers int) error {
 		if workers != 0 && single.Options.Workers == 0 {
 			single.Options.Workers = workers
 		}
-		rep, err := repro.Run(ctx, *single)
+		rep, err := repro.RunWith(ctx, *single, reg)
 		if err != nil {
 			return err
 		}
@@ -327,10 +352,14 @@ func runSpec(ctx context.Context, arg string, workers int) error {
 	if workers != 0 && sweep.Workers == 0 {
 		sweep.Workers = workers
 	}
-	n, cells, err := repro.Sweep(ctx, *sweep)
+	n, at, err := sweep.Cells()
 	if err != nil {
 		return err
 	}
+	cells := spec.StreamWith(ctx, n, sweep.Workers, at,
+		func(ctx context.Context, i int, s spec.Spec) *spec.Cell {
+			return spec.RunCellWith(ctx, i, s, reg)
+		})
 	fmt.Fprintf(os.Stderr, "sweep: %d cells\n", n)
 	enc := json.NewEncoder(os.Stdout)
 	failed := 0
@@ -517,6 +546,7 @@ type schedulerArgs struct {
 	coflows, slots, trials, workers            int
 	seed                                       int64
 	validate                                   bool
+	obs                                        *repro.Telemetry
 }
 
 // compile translates the generation-related flags into the Spec
@@ -574,7 +604,7 @@ func runSchedulers(ctx context.Context, a schedulerArgs) error {
 	}
 	reports := make([]*repro.RunReport, 0, len(names))
 	for _, name := range names {
-		rep, err := repro.Run(ctx, repro.Spec{
+		rep, err := repro.RunWith(ctx, repro.Spec{
 			Instance:  in,
 			Model:     a.modelStr,
 			Scheduler: name,
@@ -582,7 +612,7 @@ func runSchedulers(ctx context.Context, a schedulerArgs) error {
 				MaxSlots: a.slots, Trials: a.trials, Seed: a.seed, Workers: a.workers,
 			},
 			Validate: a.validate,
-		})
+		}, a.obs)
 		if err != nil {
 			return err
 		}
@@ -616,6 +646,7 @@ type onlineArgs struct {
 	epoch, load                     float64
 	seed                            int64
 	validate                        bool
+	obs                             *repro.Telemetry
 }
 
 // runOnline drives the discrete-event simulator: it compares every
@@ -646,7 +677,7 @@ func runOnline(ctx context.Context, a onlineArgs) error {
 	}
 	simOpt := sim.Options{
 		Epoch: a.epoch, MaxSlots: a.slots, Trials: a.trials,
-		Seed: a.seed, Workers: a.workers,
+		Seed: a.seed, Workers: a.workers, Obs: a.obs,
 	}
 	var check func(policy string, clairvoyant bool, r *sim.Result) error
 	if a.validate {

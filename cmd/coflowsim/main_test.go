@@ -151,7 +151,7 @@ func TestRunSpecFileEndToEnd(t *testing.T) {
 	if err := os.WriteFile(runPath, []byte(specJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSpec(context.Background(), runPath, 0); err != nil {
+	if err := runSpec(context.Background(), runPath, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	sweepPath := filepath.Join(dir, "sweep.json")
@@ -159,13 +159,13 @@ func TestRunSpecFileEndToEnd(t *testing.T) {
 	if err := os.WriteFile(sweepPath, []byte(sweepJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSpec(context.Background(), sweepPath, 2); err != nil {
+	if err := runSpec(context.Background(), sweepPath, 2, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSpec(context.Background(), filepath.Join(dir, "missing.json"), 0); err == nil {
+	if err := runSpec(context.Background(), filepath.Join(dir, "missing.json"), 0, nil); err == nil {
 		t.Fatal("missing spec file accepted")
 	}
-	if err := runSpec(context.Background(), "preset:nope", 0); err == nil || !strings.Contains(err.Error(), "figure9") {
+	if err := runSpec(context.Background(), "preset:nope", 0, nil); err == nil || !strings.Contains(err.Error(), "figure9") {
 		t.Fatalf("unknown preset error should list presets, got %v", err)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/workload"
@@ -154,14 +155,21 @@ type simCase struct {
 	slots  int
 	trials int
 	warmLP bool
+	// telemetry attaches an enabled obs registry, so the cell measures
+	// the event loop with the atomic counters live.
+	telemetry bool
 }
 
 // options builds the simulator options for this cell.
 func (sc simCase) options(seed int64) sim.Options {
-	return sim.Options{
+	o := sim.Options{
 		Policy: sc.policy, MaxSlots: sc.slots, Trials: sc.trials,
 		WarmLP: sc.warmLP, Seed: seed,
 	}
+	if sc.telemetry {
+		o.Obs = obs.NewRegistry()
+	}
+	return o
 }
 
 // simSuite is the policy × topology matrix the tiers scale over.
@@ -175,17 +183,22 @@ var simSuite = []simCase{
 // hotPathSuite pins cells at fixed instance sizes regardless of the
 // selected tier, so every harness run (including the 1k CI gate)
 // tracks them: the 10k las/fair floors the incremental allocators
-// bought, and the epoch:stretch cell — one LP re-plan per arrival,
+// bought, the epoch:stretch cell — one LP re-plan per arrival,
 // with the basis carried between re-plans — that the interval-LP
-// speedup made runnable at 1k coflows. A cell whose name the tier
-// ladder already produced is skipped rather than measured twice.
+// speedup made runnable at 1k coflows, and a telemetry variant of the
+// fifo cell that bounds what an enabled obs registry costs the event
+// loop (the >25% events/sec gate is the overhead budget). A cell
+// whose name the tier ladder already produced is skipped rather than
+// measured twice.
 var hotPathSuite = []struct {
 	simCase
-	n int
+	n   int
+	tag string // name suffix marking a variant of a ladder cell
 }{
-	{simCase{policy: "las", spec: "leaf-spine:leaves=8,spines=4,hosts=4", inter: 0.25}, 10000},
-	{simCase{policy: "fair", spec: "big-switch:n=64", inter: 0.25}, 10000},
-	{simCase{policy: "epoch:stretch", spec: "swan", inter: 4.0, slots: 8, trials: 1, warmLP: true}, 1000},
+	{simCase{policy: "las", spec: "leaf-spine:leaves=8,spines=4,hosts=4", inter: 0.25}, 10000, ""},
+	{simCase{policy: "fair", spec: "big-switch:n=64", inter: 0.25}, 10000, ""},
+	{simCase{policy: "epoch:stretch", spec: "swan", inter: 4.0, slots: 8, trials: 1, warmLP: true}, 1000, ""},
+	{simCase{policy: "fifo", spec: "big-switch:n=64", inter: 0.25, telemetry: true}, 1000, "telemetry"},
 }
 
 // Run executes the suite for cfg and returns the report. ctx cancels
@@ -244,6 +257,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			n = cfg.Sizes[0]
 		}
 		name := fmt.Sprintf("sim/%s/%s/n=%d", hc.policy, hc.spec, n)
+		if hc.tag != "" {
+			name += "/" + hc.tag
+		}
 		if rep.Find(name) != nil {
 			continue
 		}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/coflow"
 	"repro/internal/lp"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/schedule"
 	"repro/internal/simplex"
@@ -55,6 +56,10 @@ type Options struct {
 	// validates the basis and falls back to a cold start when it does
 	// not fit, so the computed optimum is unaffected.
 	WarmBasis *lp.Basis
+	// Obs, when non-nil, receives pipeline telemetry (simplex counters,
+	// grid retries). Recording is observational only: results are
+	// bit-identical with or without a registry.
+	Obs *obs.Registry
 }
 
 // Evaluated is a feasibility-verified schedule with its metrics.
@@ -100,7 +105,11 @@ func SolveLP(inst *coflow.Instance, mode coflow.Model, opt Options) (*model.Solu
 	if err != nil {
 		return nil, err
 	}
-	return l.SolveWarm(opt.Simplex, opt.WarmBasis)
+	sopt := opt.Simplex
+	if sopt.Obs == nil {
+		sopt.Obs = opt.Obs
+	}
+	return l.SolveWarm(sopt, opt.WarmBasis)
 }
 
 // Heuristic converts the LP solution directly into a schedule — the
@@ -200,6 +209,10 @@ type Result struct {
 	// Basis is the LP's exported optimal basis (nil when not
 	// exportable); feed it to Options.WarmBasis on a related instance.
 	Basis *lp.Basis
+	// WarmStart reports what became of Options.WarmBasis: accepted, or
+	// the validation check that rejected it (WarmNone when no basis was
+	// supplied).
+	WarmStart simplex.WarmOutcome
 }
 
 // Run executes the complete pipeline: solve the LP, evaluate the λ=1
@@ -216,6 +229,7 @@ func Run(ctx context.Context, inst *coflow.Instance, mode coflow.Model, opt Opti
 		CStar:      sol.CStar,
 		Iterations: sol.Iterations,
 		Basis:      sol.Basis,
+		WarmStart:  sol.WarmStart,
 	}
 	if res.Heuristic, err = Heuristic(sol, opt); err != nil {
 		return nil, err
@@ -256,6 +270,7 @@ func RunAdaptive(ctx context.Context, inst *coflow.Instance, mode coflow.Model, 
 			if logf != nil {
 				logf("horizon %d slots too short (%v); doubling", slots, err)
 			}
+			opt.Obs.Counter("core_grid_retries_total").Inc()
 			slots *= 2
 			continue
 		}

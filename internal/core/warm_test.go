@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/coflow"
 	"repro/internal/graph"
+	"repro/internal/simplex"
 	"repro/internal/workload"
 )
 
@@ -140,5 +141,11 @@ func TestWarmBasisSameInstanceFewerIterations(t *testing.T) {
 	if warm.Iterations > cold.Iterations/4 {
 		t.Fatalf("warm resolve took %d iterations vs %d cold: warm start not engaging",
 			warm.Iterations, cold.Iterations)
+	}
+	if cold.WarmStart != simplex.WarmNone {
+		t.Fatalf("cold solve reports warm outcome %v, want none", cold.WarmStart)
+	}
+	if warm.WarmStart != simplex.WarmAccepted {
+		t.Fatalf("warm resolve reports outcome %v, want accepted", warm.WarmStart)
 	}
 }

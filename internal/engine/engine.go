@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/coflow"
 	"repro/internal/core"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 )
 
@@ -49,6 +51,11 @@ type Options struct {
 	// basis exported by a previous related run (Result.Core.Basis).
 	// Non-LP schedulers ignore it; results are unaffected either way.
 	WarmBasis *lp.Basis
+	// Obs, when non-nil, receives scheduling telemetry (per-scheduler
+	// timings plus everything the core pipeline and simplex record).
+	// Purely observational: results are bit-identical with or without
+	// a registry.
+	Obs *obs.Registry
 }
 
 // Normalize fills in defaults.
@@ -173,8 +180,18 @@ func Schedule(ctx context.Context, name string, inst *coflow.Instance, mode cofl
 		return nil, err
 	}
 	opt.Mode = mode
+	var timing *obs.Timing
+	var t0 time.Time
+	if opt.Obs != nil {
+		timing = opt.Obs.Timing(`engine_schedule{scheduler="` + name + `"}`)
+		t0 = time.Now()
+	}
 	res, err := s.Schedule(ctx, inst, opt.Normalize())
+	if timing != nil {
+		timing.Observe(time.Since(t0))
+	}
 	if err != nil {
+		opt.Obs.Counter(`engine_schedule_errors_total{scheduler="` + name + `"}`).Inc()
 		return nil, fmt.Errorf("engine: %s: %w", name, err)
 	}
 	res.Scheduler = name

@@ -6,6 +6,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/coflow"
 	"repro/internal/core"
+	"repro/internal/simplex"
 	"repro/internal/timegrid"
 )
 
@@ -36,6 +37,7 @@ func runCore(ctx context.Context, inst *coflow.Instance, opt Options, trials int
 		Seed:              opt.Seed,
 		Workers:           opt.Workers,
 		WarmBasis:         opt.WarmBasis,
+		Obs:               opt.Obs,
 	}, nil)
 }
 
@@ -174,8 +176,15 @@ func (sincroniaScheduler) Schedule(ctx context.Context, inst *coflow.Instance, o
 }
 
 // fromCore builds the common Result fields from a pipeline run, using
-// the λ=1 heuristic as the reported schedule.
+// the λ=1 heuristic as the reported schedule. Extra["warm-start"] is
+// the numeric simplex.WarmOutcome code (0 none, 1 accepted, 2+ the
+// rejection reason), present only when a warm basis was supplied, so
+// harnesses can tell a silent cold fallback from a genuine warm solve.
 func fromCore(cr *core.Result) *Result {
+	extra := map[string]float64{"simplex-iterations": float64(cr.Iterations)}
+	if cr.WarmStart != simplex.WarmNone {
+		extra["warm-start"] = float64(cr.WarmStart)
+	}
 	return &Result{
 		Weighted:      cr.Heuristic.Weighted,
 		Total:         cr.Heuristic.Total,
@@ -184,7 +193,7 @@ func fromCore(cr *core.Result) *Result {
 		LowerBound:    cr.LowerBound,
 		HasLowerBound: true,
 		Core:          cr,
-		Extra:         map[string]float64{"simplex-iterations": float64(cr.Iterations)},
+		Extra:         extra,
 	}
 }
 

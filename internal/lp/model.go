@@ -150,6 +150,9 @@ type Solution struct {
 	// ended Optimal with an exportable basis. Pass it to SolveWarm on a
 	// related model to skip phase 1.
 	Basis *Basis
+	// WarmStart reports what became of the warm basis passed to
+	// SolveWarm: accepted, or which validation check rejected it.
+	WarmStart simplex.WarmOutcome
 }
 
 // Value returns the primal value of v.
@@ -243,6 +246,7 @@ func (m *Model) SolveWarm(opt simplex.Options, warm *Basis) (*Solution, error) {
 		numVars: n,
 		Basis:   m.exportBasis(raw.Basis),
 	}
+	sol.WarmStart = raw.WarmStart
 	if m.maximize {
 		for i := range sol.y {
 			sol.y[i] = -sol.y[i]

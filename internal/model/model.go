@@ -81,6 +81,9 @@ type Solution struct {
 	// Basis is the name-keyed optimal basis for warm-starting the next
 	// solve of a related relaxation (nil when not exportable).
 	Basis *lp.Basis
+	// WarmStart reports what became of the warm basis handed to
+	// SolveWarm (accepted, or the validation check that rejected it).
+	WarmStart simplex.WarmOutcome
 }
 
 // BuildSinglePath constructs the Section 3.1.1 relaxation: every flow
@@ -338,6 +341,7 @@ func (l *LP) SolveWarm(opt simplex.Options, warm *lp.Basis) (*Solution, error) {
 		Frac:       make([][]float64, len(l.flows)),
 		Iterations: raw.Iterations(),
 		Basis:      raw.Basis,
+		WarmStart:  raw.WarmStart,
 	}
 	for j, cv := range l.cj {
 		sol.CStar[j] = raw.Value(cv)

@@ -1,0 +1,454 @@
+// Package obs is a flat, export-friendly, zero-dependency metrics
+// core: counters, gauges, bounded histograms, and per-stage timings,
+// all recorded with atomics on the hot path (no locks, no
+// allocation). A Registry hands out named handles; every handle and
+// the Registry itself tolerate a nil receiver, so instrumented code
+// threads an optional *Registry and pays near-zero cost when it is
+// nil (one pointer test per record site).
+//
+// Series names follow the Prometheus convention with inline labels,
+// e.g. `sim_events_total{kind="arrival"}` — the full string is the
+// map key, which keeps the registry flat and the export trivial.
+// Recording never changes scheduling decisions: instrumentation
+// observes, it does not steer, and goldens stay bit-identical with
+// telemetry on or off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer series.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer series that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (negative to decrease). No-op on nil.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Set pins the gauge to n. No-op on nil.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timing accumulates a duration series: event count and total
+// nanoseconds. It is the cheap per-stage alternative to a histogram
+// when only totals and means matter.
+type Timing struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (t *Timing) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.count.Add(1)
+	t.nanos.Add(int64(d))
+}
+
+// Count reads the number of observations (0 on nil).
+func (t *Timing) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Seconds reads the accumulated time in seconds (0 on nil).
+func (t *Timing) Seconds() float64 {
+	if t == nil {
+		return 0
+	}
+	return float64(t.nanos.Load()) / 1e9
+}
+
+// Histogram is a fixed-bound cumulative-bucket histogram. Bounds are
+// upper-inclusive like Prometheus `le`; an implicit +Inf bucket
+// catches the rest. Observation is lock-free: one atomic add on the
+// bucket, one on the count, and a CAS loop folding the value into a
+// float64 sum.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the accumulated value sum (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry is a named collection of metrics. Registration (the
+// Counter/Gauge/Timing/Histogram lookups) takes a mutex; recording
+// through the returned handles is pure atomics. Call sites resolve
+// handles once at construction time and record through them in the
+// hot loop.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	tims  map[string]*Timing
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  map[string]*Counter{},
+		gaugs: map[string]*Gauge{},
+		tims:  map[string]*Timing{},
+		hists: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gaugs[name]
+	if !ok {
+		g = &Gauge{}
+		r.gaugs[name] = g
+	}
+	return g
+}
+
+// Timing returns the timing registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Timing(name string) *Timing {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tims[name]
+	if !ok {
+		t = &Timing{}
+		r.tims[name] = t
+	}
+	return t
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds on first use (later calls reuse the
+// original bounds; bounds must be sorted ascending). Returns nil on a
+// nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b))}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one exported histogram: cumulative bucket
+// counts keyed by their upper bound plus count and sum.
+type HistogramSnapshot struct {
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// TimingSnapshot is one exported timing: observation count and total
+// seconds.
+type TimingSnapshot struct {
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Snapshot is a point-in-time export of a registry, the shape both
+// the JSON (-stats) and Prometheus (/metrics) front doors serialize.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Timings    map[string]TimingSnapshot    `json:"timings,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports every registered series. Returns an empty snapshot
+// on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Timings:    map[string]TimingSnapshot{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gaugs {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.tims {
+		s.Timings[name] = TimingSnapshot{Count: t.Count(), Seconds: t.Seconds()}
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds:  append([]float64(nil), h.bounds...),
+			Buckets: make([]int64, len(h.buckets)),
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+		}
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// MarshalJSON keeps empty sections out of the wire format.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot
+	a := alias(*s)
+	if len(a.Counters) == 0 {
+		a.Counters = nil
+	}
+	if len(a.Gauges) == 0 {
+		a.Gauges = nil
+	}
+	if len(a.Timings) == 0 {
+		a.Timings = nil
+	}
+	if len(a.Histograms) == 0 {
+		a.Histograms = nil
+	}
+	return json.Marshal(a)
+}
+
+// spliceLabel inserts an extra label into a series name that may
+// already carry a label set: `a_total{k="v"}` + (le, 0.5) →
+// `a_total{k="v",le="0.5"}`; `a_total` → `a_total{le="0.5"}`.
+func spliceLabel(name, label, value string) string {
+	if i := strings.LastIndexByte(name, '}'); i >= 0 && strings.IndexByte(name, '{') >= 0 {
+		return name[:i] + `,` + label + `="` + value + `"}`
+	}
+	return name + "{" + label + `="` + value + `"}`
+}
+
+// baseName strips an inline label set: `a_total{k="v"}` → `a_total`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// formatFloat renders a float the way Prometheus clients do:
+// shortest representation, "+Inf" for the overflow bucket bound.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters as `# TYPE x counter`,
+// gauges as gauges, timings as a pair of `_seconds_total` /
+// `_events_total` counters, histograms with cumulative `_bucket`
+// series, `le` spliced into any inline label set. Output is sorted by
+// series name so scrapes are diffable. Safe on a nil registry (writes
+// nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	typed := map[string]bool{} // base names with a TYPE line emitted
+
+	addType := func(base, kind string) string {
+		if typed[base] {
+			return ""
+		}
+		typed[base] = true
+		return "# TYPE " + base + " " + kind + "\n"
+	}
+
+	type series struct {
+		base, kind string
+		lines      []string
+	}
+	var all []series
+	for name, v := range s.Counters {
+		all = append(all, series{baseName(name), "counter",
+			[]string{fmt.Sprintf("%s %d\n", name, v)}})
+	}
+	for name, v := range s.Gauges {
+		all = append(all, series{baseName(name), "gauge",
+			[]string{fmt.Sprintf("%s %d\n", name, v)}})
+	}
+	for name, t := range s.Timings {
+		base := baseName(name)
+		secName := base + "_seconds_total"
+		cntName := base + "_events_total"
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			secName += name[i:]
+			cntName += name[i:]
+		}
+		all = append(all, series{base + "_seconds_total", "counter",
+			[]string{fmt.Sprintf("%s %s\n", secName, formatFloat(t.Seconds))}})
+		all = append(all, series{base + "_events_total", "counter",
+			[]string{fmt.Sprintf("%s %d\n", cntName, t.Count)}})
+	}
+	for name, h := range s.Histograms {
+		base := baseName(name)
+		bucketName := base + "_bucket"
+		sumName := base + "_sum"
+		cntName := base + "_count"
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			bucketName += name[i:]
+			sumName += name[i:]
+			cntName += name[i:]
+		}
+		var ls []string
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Buckets[i]
+			ls = append(ls, fmt.Sprintf("%s %d\n",
+				spliceLabel(bucketName, "le", formatFloat(b)), cum))
+		}
+		ls = append(ls, fmt.Sprintf("%s %d\n",
+			spliceLabel(bucketName, "le", "+Inf"), h.Count))
+		ls = append(ls, fmt.Sprintf("%s %s\n", sumName, formatFloat(h.Sum)))
+		ls = append(ls, fmt.Sprintf("%s %d\n", cntName, h.Count))
+		all = append(all, series{base, "histogram", ls})
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].base != all[j].base {
+			return all[i].base < all[j].base
+		}
+		return all[i].lines[0] < all[j].lines[0]
+	})
+	for _, sr := range all {
+		if line := addType(sr.base, sr.kind); line != "" {
+			if _, err := io.WriteString(w, line); err != nil {
+				return err
+			}
+		}
+		sort.Strings(sr.lines)
+		for _, l := range sr.lines {
+			if _, err := io.WriteString(w, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

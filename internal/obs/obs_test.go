@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every handle and the registry itself are usable at
+// nil — the zero-overhead contract instrumented code relies on.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("g")
+	g.Add(1)
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	tm := r.Timing("t")
+	tm.Observe(time.Second)
+	if tm.Count() != 0 || tm.Seconds() != 0 {
+		t.Fatal("nil timing accumulated")
+	}
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Timings)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition: %q, %v", sb.String(), err)
+	}
+}
+
+// TestCounterGaugeTiming: basic accumulation and handle identity (the
+// same name returns the same handle).
+func TestCounterGaugeTiming(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("events_total") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("inflight")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	g.Set(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge = %d, want 9", g.Value())
+	}
+	tm := r.Timing("stage")
+	tm.Observe(250 * time.Millisecond)
+	tm.Observe(750 * time.Millisecond)
+	if tm.Count() != 2 {
+		t.Fatalf("timing count = %d", tm.Count())
+	}
+	if got := tm.Seconds(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("timing seconds = %v", got)
+	}
+}
+
+// TestHistogram: bucket assignment is upper-inclusive and the +Inf
+// overflow is implicit.
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-1066.5) > 1e-9 {
+		t.Fatalf("sum = %v", got)
+	}
+	snap := r.Snapshot().Histograms["sizes"]
+	want := []int64{2, 2, 1} // ≤1: {0.5,1}; ≤10: {5,10}; ≤100: {50}; +Inf: 1000
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all %v)", i, snap.Buckets[i], w, snap.Buckets)
+		}
+	}
+}
+
+// TestSnapshotJSON: snapshots round-trip through JSON and omit empty
+// sections.
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`sim_events_total{kind="arrival"}`).Add(3)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[`sim_events_total{kind="arrival"}`] != 3 {
+		t.Fatalf("round trip lost the counter: %s", b)
+	}
+	if strings.Contains(string(b), "histograms") {
+		t.Fatalf("empty section serialized: %s", b)
+	}
+}
+
+// TestWritePrometheus: the text exposition carries TYPE lines, splices
+// le into existing label sets, and emits cumulative buckets.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`http_requests_total{route="/v1/run"}`).Add(7)
+	r.Gauge("inflight").Set(2)
+	r.Timing(`stage_wait{route="/v1/run"}`).Observe(1500 * time.Millisecond)
+	h := r.Histogram(`latency_seconds{route="/v1/run"}`, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="/v1/run"} 7`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"# TYPE stage_wait_seconds_total counter",
+		`stage_wait_seconds_total{route="/v1/run"} 1.5`,
+		`stage_wait_events_total{route="/v1/run"} 1`,
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{route="/v1/run",le="0.1"} 1`,
+		`latency_seconds_bucket{route="/v1/run",le="1"} 2`,
+		`latency_seconds_bucket{route="/v1/run",le="+Inf"} 3`,
+		`latency_seconds_sum{route="/v1/run"} 5.55`,
+		`latency_seconds_count{route="/v1/run"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentRecording: many goroutines hammer shared handles and
+// registration races; totals must be exact (run under -race).
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			h := r.Histogram("h", []float64{10, 100})
+			tm := r.Timing("t")
+			g := r.Gauge("g")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 150))
+				tm.Observe(time.Microsecond)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := r.Timing("t").Count(); got != workers*per {
+		t.Fatalf("timing count = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}

@@ -92,6 +92,7 @@ func (p *epochAdapter) replan(ctx context.Context, st *State) error {
 		Trials:   p.opt.Trials,
 		Seed:     stats.SubSeed(p.opt.Seed, uint64(p.replans)),
 		Workers:  p.opt.Workers,
+		Obs:      p.opt.Obs,
 	}
 	if p.opt.WarmLP {
 		eopt.WarmBasis = p.lastBasis

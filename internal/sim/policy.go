@@ -12,7 +12,13 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/coflow"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
+
+// sizeBounds buckets the per-event set sizes the policies report
+// (LAS splice/merge sizes, fair freeze rounds): powers of two up to
+// well past the largest benched instances.
+var sizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384}
 
 // Registry names of the built-in policies. Epoch adapters are named
 // dynamically as "epoch:<engine-scheduler>" (see adapter.go).
@@ -47,11 +53,11 @@ func init() {
 	Register(NameFIFO, func(Options) (Policy, error) {
 		return &fifoPolicy{}, nil
 	})
-	Register(NameLAS, func(Options) (Policy, error) {
-		return &lasPolicy{}, nil
+	Register(NameLAS, func(opt Options) (Policy, error) {
+		return &lasPolicy{splice: opt.Obs.Histogram("sim_las_splice_size", sizeBounds)}, nil
 	})
-	Register(NameFair, func(Options) (Policy, error) {
-		return &fairPolicy{}, nil
+	Register(NameFair, func(opt Options) (Policy, error) {
+		return &fairPolicy{rounds: opt.Obs.Histogram("sim_fair_freeze_rounds", sizeBounds)}, nil
 	})
 	Register(NameSincroniaOnline, func(Options) (Policy, error) {
 		return &sincroniaOnline{}, nil
@@ -240,6 +246,10 @@ type lasPolicy struct {
 	// snap[j] is Attained[j] as of the moment j was last placed in
 	// order; a mismatch means j was served and must be re-positioned.
 	snap []float64
+	// splice observes the displaced-set size per event (the spliced and
+	// merged count — the quantity the incremental order's cost scales
+	// with). Nil without a registry.
+	splice *obs.Histogram
 }
 
 func (*lasPolicy) Name() string { return NameLAS }
@@ -287,6 +297,7 @@ func (p *lasPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 		}
 	}
 	if len(p.moved) > 0 {
+		p.splice.Observe(float64(len(p.moved)))
 		slices.SortFunc(p.moved, func(a, b int) int {
 			switch {
 			case st.Attained[a] < st.Attained[b]:
@@ -347,6 +358,10 @@ type fairPolicy struct {
 	touched   []graph.EdgeID
 	edgeFlows [][]int32
 	live      []liveFlow
+	// rounds observes the freeze-round count per event — how many
+	// progressive-filling iterations the fair share took. Nil without a
+	// registry.
+	rounds *obs.Histogram
 }
 
 type liveFlow struct {
@@ -464,7 +479,9 @@ func (p *fairPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 			delta = sh
 		}
 	}
+	fillRounds := 0
 	for unfrozen := len(live); unfrozen > 0; {
+		fillRounds++
 		sat = sat[:0]
 		if delta > 0 {
 			fill += delta
@@ -585,6 +602,9 @@ func (p *fairPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 	}
 	p.satEdges = sat
 	p.touched = touched
+	if len(live) > 0 {
+		p.rounds.Observe(float64(fillRounds))
+	}
 	for _, e := range used {
 		count[e] = 0
 	}

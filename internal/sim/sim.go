@@ -51,9 +51,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/coflow"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 const eps = 1e-9
@@ -110,6 +112,14 @@ type Options struct {
 	// indexed fast path cannot silently drift. Checking never alters
 	// the trace.
 	CheckEvery int
+	// Obs, when non-nil, receives run telemetry: events by kind,
+	// allocator calls, incremental/paranoid check time, policy-internal
+	// dynamics (LAS splice sizes, fair freeze rounds), and — through
+	// wrapped engine schedulers — LP counters. Recording is atomic and
+	// observational only: traces and results are bit-identical with
+	// Obs set or nil, and a nil registry costs one pointer test per
+	// site.
+	Obs *obs.Registry
 }
 
 // Normalize fills in defaults.
@@ -300,6 +310,38 @@ func Simulate(ctx context.Context, inst *coflow.Instance, opt Options) (*Result,
 	return newRunner(inst, opt, pol).run(ctx)
 }
 
+// simMetrics holds the telemetry handles the event loop records
+// through, resolved once per run so the hot loop never takes the
+// registry lock. With no registry every handle is nil — each record
+// site then costs one pointer test — and the time.Now calls around
+// the allocation checks are skipped entirely.
+type simMetrics struct {
+	arrivals    *obs.Counter
+	completions *obs.Counter
+	epochs      *obs.Counter
+	loopEvents  *obs.Counter
+	allocCalls  *obs.Counter
+	replans     *obs.Counter
+	checkInc    *obs.Timing
+	checkFull   *obs.Timing
+}
+
+func newSimMetrics(reg *obs.Registry) simMetrics {
+	if reg == nil {
+		return simMetrics{}
+	}
+	return simMetrics{
+		arrivals:    reg.Counter(`sim_events_total{kind="arrival"}`),
+		completions: reg.Counter(`sim_events_total{kind="completion"}`),
+		epochs:      reg.Counter(`sim_events_total{kind="epoch"}`),
+		loopEvents:  reg.Counter("sim_loop_events_total"),
+		allocCalls:  reg.Counter("sim_alloc_calls_total"),
+		replans:     reg.Counter("sim_replans_total"),
+		checkInc:    reg.Timing("sim_check_incremental"),
+		checkFull:   reg.Timing("sim_check_full"),
+	}
+}
+
 // runner is the per-run state of the optimized event loop.
 type runner struct {
 	inst *coflow.Instance
@@ -307,6 +349,7 @@ type runner struct {
 	pol  Policy
 	st   *State
 	res  *Result
+	met  simMetrics
 
 	caps     []float64
 	revealed []bool
@@ -347,6 +390,7 @@ func newRunner(inst *coflow.Instance, opt Options, pol Policy) *runner {
 		candIn:   make([]bool, nc),
 		group:    make([]int, nc),
 		load:     make([]float64, g.NumEdges()),
+		met:      newSimMetrics(opt.Obs),
 	}
 	for _, e := range g.Edges() {
 		r.caps[e.ID] = e.Capacity
@@ -381,6 +425,7 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 				opt.MaxEvents, r.now, r.done, nc)
 		}
 		res.Events++
+		r.met.loopEvents.Inc()
 
 		// Reveal coflows whose release time has passed (all of them at
 		// t=0 in clairvoyant mode). The pending list yields them in
@@ -390,6 +435,7 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 		r.batch = r.pending.takeDue(inst, r.now, opt.Clairvoyant, r.batch[:0])
 		if len(r.batch) > 0 {
 			replan = true
+			r.met.arrivals.Add(int64(len(r.batch)))
 			sort.Ints(r.batch)
 			for _, j := range r.batch {
 				r.revealed[j] = true
@@ -413,6 +459,7 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 		// accumulation cannot stall the advance.
 		if opt.Epoch > 0 && r.nextEpoch <= r.now+eps {
 			replan = true
+			r.met.epochs.Inc()
 			res.Trace = append(res.Trace, Event{Time: r.now, Kind: EpochTick, Coflow: -1})
 			r.nextEpoch = opt.Epoch * (math.Floor(r.now/opt.Epoch) + 1)
 			if r.nextEpoch <= r.now+eps {
@@ -427,15 +474,32 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 		if len(st.Active) > 0 {
 			if replan {
 				res.Replans++
+				r.met.replans.Inc()
 			}
+			r.met.allocCalls.Inc()
 			if err := r.pol.Allocate(ctx, st, &r.alloc); err != nil {
 				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, r.now, err)
 			}
-			if err := r.checkAlloc(); err != nil {
+			var t0 time.Time
+			if r.met.checkInc != nil {
+				t0 = time.Now()
+			}
+			err := r.checkAlloc()
+			if r.met.checkInc != nil {
+				r.met.checkInc.Observe(time.Since(t0))
+			}
+			if err != nil {
 				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, r.now, err)
 			}
 			if opt.CheckEvery > 0 && res.Events%opt.CheckEvery == 0 {
-				if err := r.checkFull(); err != nil {
+				if r.met.checkFull != nil {
+					t0 = time.Now()
+				}
+				err := r.checkFull()
+				if r.met.checkFull != nil {
+					r.met.checkFull.Observe(time.Since(t0))
+				}
+				if err != nil {
 					return nil, fmt.Errorf("sim: full check at t=%g (event %d): %w", r.now, res.Events, err)
 				}
 			}
@@ -551,6 +615,7 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 			if all {
 				r.finished[j] = true
 				r.done++
+				r.met.completions.Inc()
 				res.Completions[j] = r.now
 				res.Trace = append(res.Trace, Event{Time: r.now, Kind: Completion, Coflow: j})
 				r.removeActive(j)

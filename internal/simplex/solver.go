@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"repro/internal/lu"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -105,8 +106,16 @@ type Options struct {
 	// WarmStart, when non-nil, seeds the solve with a previously
 	// exported basis, skipping phase 1 when it is primal feasible for
 	// this problem. Invalid or infeasible bases fall back to the cold
-	// two-phase start; the result is the same optimum either way.
+	// two-phase start; the result is the same optimum either way, and
+	// Solution.WarmStart reports which validation check (if any)
+	// forced the fallback.
 	WarmStart *Basis
+	// Obs, when non-nil, receives solve telemetry: pivots,
+	// refactorizations, Devex prefilter hit rate, LU factorization
+	// work, and the warm-start outcome. Counters accumulate locally
+	// and flush once per solve, so the pivot loop never touches an
+	// atomic; pivot sequences are identical with Obs set or nil.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -134,6 +143,10 @@ type Solution struct {
 	// solve is Optimal with no artificial variable basic. Feed it to
 	// Options.WarmStart to accelerate a related solve.
 	Basis *Basis
+	// WarmStart reports what became of Options.WarmStart: WarmNone
+	// when no basis was supplied, WarmAccepted when phase 1 was
+	// skipped, or the WarmRejected* check that forced the cold start.
+	WarmStart WarmOutcome
 }
 
 // variable states
@@ -244,6 +257,13 @@ type solver struct {
 	degenStreak int
 	pivots      int // pivots since last refactorization
 	iters       int
+
+	// Telemetry accumulators, flushed to Options.Obs once per solve
+	// (see flushObs). warm records the warm-start outcome.
+	warm       WarmOutcome
+	nRefactor  int
+	prefTested int64 // nonbasic columns seen by the CSR pricing sweep
+	prefPassed int64 // columns that survived the dj² ≥ bestScore prefilter
 }
 
 // Solve minimizes the problem. An error is returned only for malformed
@@ -299,6 +319,7 @@ func solveOnce(p *Problem, opt Options, minPiv float64) (*Solution, error) {
 		minPiv:  minPiv,
 	}
 	s.buildCSR()
+	defer s.flushObs()
 	return s.run()
 }
 
@@ -403,13 +424,16 @@ func (s *solver) logf(format string, args ...any) {
 }
 
 func (s *solver) run() (*Solution, error) {
-	if s.opt.WarmStart != nil && s.tryWarmStart() {
-		// The warm basis is primal feasible: phase 2 directly.
-		status, err := s.iterate(2)
-		if err != nil {
-			return nil, err
+	if s.opt.WarmStart != nil {
+		s.warm = s.tryWarmStart()
+		if s.warm == WarmAccepted {
+			// The warm basis is primal feasible: phase 2 directly.
+			status, err := s.iterate(2)
+			if err != nil {
+				return nil, err
+			}
+			return s.finish(status), nil
 		}
-		return s.finish(status), nil
 	}
 	s.artFixed = false // shed any residue of a rejected warm start
 
@@ -468,14 +492,15 @@ func (s *solver) basicValueOf(j int) float64 {
 
 // tryWarmStart attempts to install Options.WarmStart as the starting
 // basis: validate it against this problem, factorize, recompute the
-// basic values, and check primal feasibility. On success the solver is
-// ready for phase 2 (artificials nonbasic and pinned to zero, real
-// costs installed). On failure the solver falls back to the cold start,
-// which rebuilds every field tryWarmStart touched.
-func (s *solver) tryWarmStart() bool {
+// basic values, and check primal feasibility. On WarmAccepted the
+// solver is ready for phase 2 (artificials nonbasic and pinned to
+// zero, real costs installed). Any other outcome names the check that
+// failed; the solver then falls back to the cold start, which rebuilds
+// every field tryWarmStart touched.
+func (s *solver) tryWarmStart() WarmOutcome {
 	wb := s.opt.WarmStart
 	if wb.M != s.m || wb.N != s.n || len(wb.State) != s.n {
-		return false
+		return WarmRejectedDims
 	}
 	nBasic := 0
 	for j := 0; j < s.n; j++ {
@@ -485,22 +510,22 @@ func (s *solver) tryWarmStart() bool {
 			nBasic++
 		case stLower:
 			if math.IsInf(l, -1) {
-				return false
+				return WarmRejectedBounds
 			}
 		case stUpper:
 			if math.IsInf(u, 1) {
-				return false
+				return WarmRejectedBounds
 			}
 		case stFree:
 			if !math.IsInf(l, -1) || !math.IsInf(u, 1) {
-				return false
+				return WarmRejectedBounds
 			}
 		default:
-			return false
+			return WarmRejectedBounds
 		}
 	}
 	if nBasic != s.m {
-		return false
+		return WarmRejectedBasicCount
 	}
 	r := 0
 	for j := 0; j < s.n; j++ {
@@ -521,7 +546,7 @@ func (s *solver) tryWarmStart() bool {
 	}
 	s.artFixed = true // artificials stay fixed at zero
 	if err := s.refactor(); err != nil {
-		return false // singular basis matrix
+		return WarmRejectedSingular
 	}
 	// refactor recomputed xB from scratch; verify primal feasibility
 	// with the same scaled tolerance the phase-1 exit check uses.
@@ -529,14 +554,14 @@ func (s *solver) tryWarmStart() bool {
 	for i := 0; i < s.m; i++ {
 		j := s.basisOf[i]
 		if v := s.xB[i]; v < s.lb(j)-tol || v > s.ub(j)+tol {
-			return false
+			return WarmRejectedInfeasible
 		}
 	}
 	copy(s.cost[:s.n], s.prob.C)
 	for i := 0; i < s.m; i++ {
 		s.cost[s.n+i] = 0
 	}
-	return true
+	return WarmAccepted
 }
 
 // initBasis places structural variables on their nearest finite bound
@@ -591,6 +616,7 @@ func (s *solver) initBasis() {
 // refactor rebuilds the LU factorization from the current basis and
 // recomputes xB from scratch to shed accumulated roundoff.
 func (s *solver) refactor() error {
+	s.nRefactor++
 	bld := sparse.NewBuilder(s.m, s.m)
 	for rpos := 0; rpos < s.m; rpos++ {
 		j := s.basisOf[rpos]
@@ -820,6 +846,7 @@ func (s *solver) updatePricingAfterPivot(q, r int, alpha float64, leaving int) {
 		// scan's first-argmax choice.
 		best, bestScore, bestDir := -1, 0.0, 0.0
 		tol := s.opt.Tol
+		s.prefTested += int64(len(s.nbList) - 1) // every column but q
 		for _, j32 := range s.nbList {
 			j := int(j32)
 			if j == q {
@@ -835,6 +862,7 @@ func (s *solver) updatePricingAfterPivot(q, r int, alpha float64, leaving int) {
 			// numerator strictly under the incumbent can neither beat
 			// it nor tie it, and eligibility need not be checked.
 			if a := dj * dj; a >= bestScore {
+				s.prefPassed++
 				// eligible(j), inlined with the fixed-bound cache.
 				var dr float64
 				switch s.state[j] {
@@ -1167,6 +1195,7 @@ func (s *solver) finish(status Status) *Solution {
 		Y:          make([]float64, s.m),
 		D:          make([]float64, s.n),
 		Iterations: s.iters,
+		WarmStart:  s.warm,
 	}
 	for j := 0; j < s.n; j++ {
 		v := s.basicValueOf(j)

@@ -39,6 +39,14 @@ func TestWarmStartSameProblem(t *testing.T) {
 			t.Logf("seed %d: warm solve %v err=%v", seed, warm.Status, err)
 			return false
 		}
+		if cold.WarmStart != WarmNone {
+			t.Logf("seed %d: cold solve reports warm outcome %v", seed, cold.WarmStart)
+			return false
+		}
+		if warm.WarmStart != WarmAccepted {
+			t.Logf("seed %d: own optimal basis reported %v, want accepted", seed, warm.WarmStart)
+			return false
+		}
 		if !objClose(cold.Obj, warm.Obj) {
 			t.Logf("seed %d: cold obj %g, warm obj %g", seed, cold.Obj, warm.Obj)
 			return false
@@ -119,6 +127,10 @@ func TestWarmStartInvalidFallsBack(t *testing.T) {
 		{M: 8, N: 14, State: make([]int8, 14)},                                 // zero basic variables
 		{M: 8, N: 14, State: []int8{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}}, // garbage states
 	}
+	// The validation check each of the explicit bad bases must trip.
+	wantOutcome := []WarmOutcome{
+		WarmRejectedDims, WarmRejectedDims, WarmRejectedBasicCount, WarmRejectedBounds,
+	}
 	// A basis with the right counts but the wrong variables: basic on
 	// the first m columns regardless of structure (often singular or
 	// infeasible — either way the answer must not change).
@@ -139,6 +151,15 @@ func TestWarmStartInvalidFallsBack(t *testing.T) {
 		if sol.Status != Optimal || !objClose(sol.Obj, cold.Obj) {
 			t.Fatalf("bad basis %d: status %v obj %g, want optimal obj %g",
 				i, sol.Status, sol.Obj, cold.Obj)
+		}
+		if i < len(wantOutcome) && sol.WarmStart != wantOutcome[i] {
+			t.Fatalf("bad basis %d: warm outcome %v, want %v", i, sol.WarmStart, wantOutcome[i])
+		}
+		// Every supplied basis — including the structurally plausible
+		// "wrong" one, which may trip any late check — must report an
+		// outcome, never WarmNone.
+		if sol.WarmStart == WarmNone {
+			t.Fatalf("bad basis %d: outcome WarmNone despite a supplied basis", i)
 		}
 	}
 }

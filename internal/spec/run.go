@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/validate"
 )
@@ -51,6 +52,10 @@ type RunReport struct {
 	// internal/validate oracle found no violation (a violation fails
 	// the run instead).
 	Validated bool `json:"validated,omitempty"`
+	// Telemetry is the run's internal counter snapshot, present only
+	// when Options.Telemetry was set. Counter values are deterministic
+	// in the spec; timing series measure wall clock and are not.
+	Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
 
 	// Engine and Sim carry the full underlying results for library
 	// callers (exactly one is non-nil, per Kind). They are not part of
@@ -66,9 +71,22 @@ type RunReport struct {
 // RunReport. Run is deterministic in the normalized Spec at any
 // Options.Workers, and ctx cancels it between units of work.
 func Run(ctx context.Context, s Spec) (*RunReport, error) {
+	return RunWith(ctx, s, nil)
+}
+
+// RunWith is Run recording telemetry into reg. A nil reg with
+// Options.Telemetry set gets a private registry for the report
+// snapshot; a non-nil reg (coflowd's server-wide registry, the CLI's
+// -stats one) accumulates across runs either way. Recording is
+// observational only — the scheduling output is bit-identical with or
+// without a registry.
+func RunWith(ctx context.Context, s Spec, reg *obs.Registry) (*RunReport, error) {
 	ns, err := s.Normalized()
 	if err != nil {
 		return nil, err
+	}
+	if reg == nil && ns.Options.Telemetry {
+		reg = obs.NewRegistry()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -100,6 +118,7 @@ func Run(ctx context.Context, s Spec) (*RunReport, error) {
 			Seed:              ns.Options.Seed,
 			Workers:           ns.Options.Workers,
 			DisableCompaction: ns.Options.DisableCompaction,
+			Obs:               reg,
 		})
 		if err != nil {
 			return nil, err
@@ -122,6 +141,7 @@ func Run(ctx context.Context, s Spec) (*RunReport, error) {
 			}
 			rep.Validated = true
 		}
+		attachTelemetry(rep, ns, reg)
 		return rep, nil
 	}
 
@@ -137,6 +157,7 @@ func Run(ctx context.Context, s Spec) (*RunReport, error) {
 		Clairvoyant: ns.Options.Clairvoyant,
 		CheckEvery:  ns.Options.CheckEvery,
 		WarmLP:      ns.Options.WarmLP,
+		Obs:         reg,
 	})
 	if err != nil {
 		return nil, err
@@ -155,5 +176,16 @@ func Run(ctx context.Context, s Spec) (*RunReport, error) {
 		}
 		rep.Validated = true
 	}
+	attachTelemetry(rep, ns, reg)
 	return rep, nil
+}
+
+// attachTelemetry snapshots reg into the report when the spec asked
+// for it. With a caller-shared registry the snapshot covers everything
+// recorded so far, not just this run.
+func attachTelemetry(rep *RunReport, ns Spec, reg *obs.Registry) {
+	if !ns.Options.Telemetry || reg == nil {
+		return
+	}
+	rep.Telemetry = reg.Snapshot()
 }

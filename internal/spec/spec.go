@@ -130,6 +130,11 @@ type Options struct {
 	// PathsK is the candidate path count per flow for the multi path
 	// model on generated instances (0 = 3).
 	PathsK int `json:"paths_k,omitempty"`
+	// Telemetry attaches an obs.Snapshot of the run's internal counters
+	// (simplex pivots, sim events, per-stage timings, …) to the
+	// RunReport. Purely observational: the scheduling results are
+	// bit-identical with telemetry on or off.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // Defaults, shared with the legacy CLI paths so flags and Specs

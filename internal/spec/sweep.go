@@ -7,6 +7,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -326,11 +327,19 @@ func StreamWith(ctx context.Context, n, workers int, at func(i int) Spec,
 // — report on success, stringified error otherwise — for executors
 // that schedule cells through their own pool (coflowd).
 func RunCell(ctx context.Context, i int, s Spec) *Cell {
+	return RunCellWith(ctx, i, s, nil)
+}
+
+// RunCellWith is RunCell recording telemetry into reg (safe to share
+// across concurrently executing cells; recording is atomic). coflowd
+// routes every cell through its server-wide registry so /metrics
+// covers sweep work too.
+func RunCellWith(ctx context.Context, i int, s Spec, reg *obs.Registry) *Cell {
 	if testCellHook != nil {
 		testCellHook(i)
 	}
 	cell := &Cell{Index: i, Spec: s}
-	rep, err := Run(ctx, s)
+	rep, err := RunWith(ctx, s, reg)
 	if err != nil {
 		cell.Err = err
 		cell.Error = err.Error()

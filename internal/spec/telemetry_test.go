@@ -1,0 +1,147 @@
+package spec
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// stripTelemetry clears the fields that legitimately differ between a
+// telemetry-on and telemetry-off run: the snapshot itself and the
+// spec echo's Telemetry flag. Everything else must be byte-identical.
+func stripTelemetry(rep *RunReport) *RunReport {
+	cp := *rep
+	cp.Telemetry = nil
+	cp.Spec.Options.Telemetry = false
+	return &cp
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestTelemetryDeterminism proves the nil-registry contract: the same
+// spec run with no registry, with a shared registry, and with
+// Options.Telemetry set produces byte-identical reports (telemetry
+// fields excluded). One offline LP spec and one online epoch-replan
+// spec cover the engine, core, simplex, and sim record sites.
+func TestTelemetryDeterminism(t *testing.T) {
+	ctx := context.Background()
+	specs := []Spec{
+		{
+			Scheduler: "stretch",
+			Workload:  &Workload{Coflows: 4, Seed: 7},
+			Options:   Options{Trials: 3, Seed: 11},
+		},
+		{
+			Policy:   "epoch:heuristic",
+			Workload: &Workload{Coflows: 4, Seed: 7},
+			Options:  Options{Trials: -1, Seed: 11, CheckEvery: 1},
+		},
+	}
+	for _, s := range specs {
+		base, err := Run(ctx, s)
+		if err != nil {
+			t.Fatalf("%s%s: base run: %v", s.Scheduler, s.Policy, err)
+		}
+		if base.Telemetry != nil {
+			t.Fatalf("%s%s: telemetry attached without Options.Telemetry", s.Scheduler, s.Policy)
+		}
+		want := mustJSON(t, base)
+
+		reg := obs.NewRegistry()
+		withReg, err := RunWith(ctx, s, reg)
+		if err != nil {
+			t.Fatalf("%s%s: registry run: %v", s.Scheduler, s.Policy, err)
+		}
+		if got := mustJSON(t, withReg); string(got) != string(want) {
+			t.Errorf("%s%s: report changed when a registry was attached:\n got %s\nwant %s",
+				s.Scheduler, s.Policy, got, want)
+		}
+		snap := reg.Snapshot()
+		if snap.Counters["simplex_pivots_total"] == 0 {
+			t.Errorf("%s%s: registry recorded no simplex pivots: %+v", s.Scheduler, s.Policy, snap.Counters)
+		}
+		if s.Policy != "" && snap.Counters[`sim_events_total{kind="arrival"}`] == 0 {
+			t.Errorf("%s%s: registry recorded no sim arrivals: %+v", s.Scheduler, s.Policy, snap.Counters)
+		}
+
+		ts := s
+		ts.Options.Telemetry = true
+		withSnap, err := Run(ctx, ts)
+		if err != nil {
+			t.Fatalf("%s%s: telemetry run: %v", s.Scheduler, s.Policy, err)
+		}
+		if withSnap.Telemetry == nil {
+			t.Fatalf("%s%s: Options.Telemetry set but no snapshot attached", s.Scheduler, s.Policy)
+		}
+		if withSnap.Telemetry.Counters["simplex_pivots_total"] == 0 {
+			t.Errorf("%s%s: attached snapshot has no simplex pivots", s.Scheduler, s.Policy)
+		}
+		if got := mustJSON(t, stripTelemetry(withSnap)); string(got) != string(want) {
+			t.Errorf("%s%s: scheduling output changed with Options.Telemetry:\n got %s\nwant %s",
+				s.Scheduler, s.Policy, got, want)
+		}
+	}
+}
+
+// TestTelemetrySharedRegistryConcurrent hammers one registry from
+// concurrent sweep cells plus direct runs — the coflowd usage pattern
+// — and checks the counts survive. Run under -race this doubles as
+// the data-race proof for the record path.
+func TestTelemetrySharedRegistryConcurrent(t *testing.T) {
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	sw := SweepSpec{
+		Base: Spec{
+			Scheduler: "heuristic",
+			Workload:  &Workload{Coflows: 3},
+		},
+		Seeds:   []int64{1, 2, 3, 4},
+		Workers: 4,
+	}
+	n, at, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			if _, err := RunWith(ctx, Spec{
+				Policy:   "las",
+				Workload: &Workload{Coflows: 3, Seed: int64(i)},
+			}, reg); err != nil {
+				t.Errorf("concurrent las run: %v", err)
+			}
+		}
+	}()
+	cells := 0
+	for _, cell := range StreamWith(ctx, n, sw.Workers, at,
+		func(ctx context.Context, i int, s Spec) *Cell { return RunCellWith(ctx, i, s, reg) }) {
+		if cell.Err != nil {
+			t.Errorf("cell %d: %v", cell.Index, cell.Err)
+		}
+		cells++
+	}
+	wg.Wait()
+	if cells != n {
+		t.Fatalf("streamed %d cells, want %d", cells, n)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["simplex_solves_total"]; got < int64(n) {
+		t.Errorf("simplex_solves_total = %d, want ≥ %d (one per sweep cell)", got, n)
+	}
+	if snap.Counters[`sim_events_total{kind="arrival"}`] == 0 {
+		t.Errorf("no sim arrivals recorded from the concurrent las runs: %+v", snap.Counters)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"iter"
 
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -31,7 +32,18 @@ type (
 	// SweepCell is one streamed sweep result: index, cell spec, and
 	// report or per-cell error.
 	SweepCell = spec.Cell
+	// Telemetry is the zero-dependency metrics registry (internal/obs)
+	// that RunWith threads through the engine, the simulator, and the
+	// simplex solver. Recording is atomic and safe to share across
+	// concurrent runs; a nil *Telemetry disables recording at zero cost.
+	Telemetry = obs.Registry
+	// TelemetrySnapshot is a point-in-time copy of a Telemetry registry,
+	// JSON-serializable (RunReport.Telemetry, coflowsim -stats).
+	TelemetrySnapshot = obs.Snapshot
 )
+
+// NewTelemetry returns an empty telemetry registry for RunWith.
+func NewTelemetry() *Telemetry { return obs.NewRegistry() }
 
 // Run executes one Spec and returns its unified report. It is
 // deterministic in the normalized Spec at any Options.Workers, and
@@ -40,6 +52,14 @@ type (
 // validated against the live registries before any work runs, with
 // errors listing what exists.
 func Run(ctx context.Context, s Spec) (*RunReport, error) { return spec.Run(ctx, s) }
+
+// RunWith is Run recording telemetry into reg (see Telemetry). A nil
+// reg with Options.Telemetry set gets a private registry whose
+// snapshot lands in RunReport.Telemetry; scheduling output is
+// bit-identical with or without a registry.
+func RunWith(ctx context.Context, s Spec, reg *Telemetry) (*RunReport, error) {
+	return spec.RunWith(ctx, s, reg)
+}
 
 // Sweep validates sw and streams its cells as they finish, fanned
 // over a bounded worker pool. The grid is expanded lazily from cell
