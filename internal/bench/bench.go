@@ -39,6 +39,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/simplex"
+	"repro/internal/sparse"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
@@ -434,6 +436,23 @@ func schedulerResults(ctx context.Context, cfg Config) ([]Result, error) {
 				}
 			}
 		}},
+		// Numerical-robustness cell: a rank-deficient, tie-riddled LP
+		// (every assignment constraint stated twice) that cannot be
+		// solved with an all-structural basis, so it exercises the
+		// anti-degeneracy and singular-basis handling on every run.
+		{"lp/degenerate-robust/m=24", func(b *testing.B) {
+			p := degenerateBenchLP(cfg.Seed)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sol, err := simplex.Solve(p, simplex.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Status != simplex.Optimal {
+					b.Fatalf("degenerate LP status %v, want optimal", sol.Status)
+				}
+			}
+		}},
 	}
 	for _, c := range cases {
 		if err := ctx.Err(); err != nil {
@@ -445,6 +464,43 @@ func schedulerResults(ctx context.Context, cfg Config) ([]Result, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// degenerateBenchLP builds a deterministic rank-deficient LP: a 6×6
+// assignment polytope with every row- and column-sum constraint
+// duplicated (rank 11 out of 24 rows) and small-integer costs full of
+// ties. Phase 1 must leave artificials basic on the redundant rows and
+// phase 2 walks a heavily degenerate face — the robustness paths this
+// cell guards are measured, not just correctness-tested.
+func degenerateBenchLP(seed int64) *simplex.Problem {
+	const k = 6
+	rng := rand.New(rand.NewSource(seed))
+	m := 4 * k // row sums twice, column sums twice
+	n := k * k
+	bld := sparse.NewBuilder(m, n)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			v := i*k + j
+			bld.Add(i, v, 1)
+			bld.Add(k+i, v, 1)
+			bld.Add(2*k+j, v, 1)
+			bld.Add(3*k+j, v, 1)
+		}
+	}
+	bvec := make([]float64, m)
+	for i := range bvec {
+		bvec[i] = 1
+	}
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = float64(rng.Intn(3))
+	}
+	l := make([]float64, n)
+	u := make([]float64, n)
+	for j := range u {
+		u[j] = 1
+	}
+	return &simplex.Problem{A: bld.Build(), B: bvec, C: c, L: l, U: u}
 }
 
 // fromBenchmark converts a testing.BenchmarkResult.

@@ -251,6 +251,66 @@ func (in *Instance) HorizonUpperBound(model Model) float64 {
 	return horizon
 }
 
+// HorizonLowerBound returns a lower bound (in time units) on the
+// makespan of every feasible schedule: a time grid whose horizon falls
+// below it cannot fit the instance, so the interval LP on that grid is
+// infeasible without solving it. Two certificates are combined: per
+// flow, its release plus its demand at the path's bottleneck rate; and
+// in the single path model — where routes are fixed, so per-edge
+// traffic is exact — per edge, the earliest release among its flows
+// plus the edge's total traffic at full capacity. Models without fixed
+// routes fall back to the release-only portion of the bound.
+func (in *Instance) HorizonLowerBound(model Model) float64 {
+	lb := 0.0
+	singlePath := model == SinglePath
+	var edgeDemand, edgeRelease []float64
+	if singlePath {
+		edgeDemand = make([]float64, in.Graph.NumEdges())
+		edgeRelease = make([]float64, in.Graph.NumEdges())
+		for e := range edgeRelease {
+			edgeRelease[e] = math.Inf(1)
+		}
+	}
+	for ci := range in.Coflows {
+		c := &in.Coflows[ci]
+		for fi := range c.Flows {
+			f := &c.Flows[fi]
+			if f.Demand <= 0 {
+				continue
+			}
+			r := c.EffectiveRelease(fi)
+			if r > lb {
+				lb = r
+			}
+			if !singlePath || len(f.Path) == 0 {
+				continue
+			}
+			if rate := in.Graph.PathCapacity(f.Path); rate > 0 {
+				if v := r + f.Demand/rate; v > lb {
+					lb = v
+				}
+			}
+			for _, e := range f.Path {
+				edgeDemand[e] += f.Demand
+				if r < edgeRelease[e] {
+					edgeRelease[e] = r
+				}
+			}
+		}
+	}
+	for e := range edgeDemand {
+		if edgeDemand[e] <= 0 {
+			continue
+		}
+		if cap := in.Graph.Edge(graph.EdgeID(e)).Capacity; cap > 0 {
+			if v := edgeRelease[e] + edgeDemand[e]/cap; v > lb {
+				lb = v
+			}
+		}
+	}
+	return lb
+}
+
 // AssignKShortestPaths fills in AltPaths for every flow with up to k
 // shortest loopless paths, for the multi path model. Flows that
 // already have AltPaths keep them.

@@ -259,7 +259,22 @@ func RetryableLP(err error) bool {
 func RunAdaptive(ctx context.Context, inst *coflow.Instance, mode coflow.Model, maxSlots int, opt Options, logf func(format string, args ...any)) (*Result, timegrid.Grid, error) {
 	grid := DefaultGrid(inst, mode, maxSlots)
 	slots := grid.NumSlots()
+	// A horizon below the certified makespan lower bound is infeasible
+	// without solving: skip those grid sizes instead of burning tens of
+	// thousands of simplex pivots on a doomed phase 1. The last allowed
+	// size always solves, so a genuinely unschedulable instance still
+	// reports its infeasibility through the LP.
+	lower := inst.HorizonLowerBound(mode)
 	for {
+		if float64(slots) < lower-1e-9 && slots < 4*maxSlots {
+			if logf != nil {
+				logf("horizon %d slots provably short (makespan lower bound %.3g); doubling without solving", slots, lower)
+			}
+			opt.Obs.Counter("core_grid_retries_total").Inc()
+			opt.Obs.Counter("core_grid_preskips_total").Inc()
+			slots *= 2
+			continue
+		}
 		grid = timegrid.Uniform(slots)
 		opt.Grid = grid
 		res, err := Run(ctx, inst, mode, opt)

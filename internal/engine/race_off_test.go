@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled mirrors the race detector's build tag so scale tests can
+// skip runs whose wall-clock bound assumes uninstrumented code.
+const raceEnabled = false

@@ -137,6 +137,9 @@ func (m *Model) AddTerm(c ConstrID, v VarID, coef float64) {
 // ConstrName returns the name of c.
 func (m *Model) ConstrName(c ConstrID) string { return m.conNames[c] }
 
+// ConstrSense returns the relational sense of c.
+func (m *Model) ConstrSense(c ConstrID) Sense { return m.senses[c] }
+
 // Solution maps solver output back to model entities.
 type Solution struct {
 	Status  simplex.Status

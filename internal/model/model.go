@@ -47,6 +47,7 @@ type LP struct {
 	first []int // first usable slot per flat flow
 
 	x  [][]lp.VarID   // [flat][slot], -1 below first slot
+	y  [][]lp.VarID   // cumulative y: [flat][slot], -1 below first slot
 	xe [][][]lp.VarID // free path: [flat][slot][edge], nil rows below first
 	xp [][][]lp.VarID // multi path: [flat][slot][pathIdx], nil below first
 	xj [][]lp.VarID   // X_j: [coflow][slot], -1 where fixed to 0
@@ -236,7 +237,8 @@ func buildCommon(inst *coflow.Instance, grid timegrid.Grid, mode coflow.Model) (
 	}
 
 	// x and cumulative y variables with the recurrence rows.
-	yVar := make([][]lp.VarID, len(l.flows))
+	l.y = make([][]lp.VarID, len(l.flows))
+	yVar := l.y
 	for f := range l.flows {
 		l.x[f] = make([]lp.VarID, k)
 		yVar[f] = make([]lp.VarID, k)
@@ -326,6 +328,13 @@ func (l *LP) Solve(opt simplex.Options) (*Solution, error) {
 // horizon, or the prior epoch's residual). Invalid bases fall back to
 // a cold solve inside the solver.
 func (l *LP) SolveWarm(opt simplex.Options, warm *lp.Basis) (*Solution, error) {
+	// With no caller basis, large single path relaxations warm-start
+	// from the greedy crash basis (see GreedyBasis): a feasible vertex
+	// that skips phase 1 entirely. The solver validates it like any
+	// other warm basis, so a rejection only means a cold start.
+	if warm == nil && l.Model.NumConstrs() >= greedyWarmMinRows {
+		warm = l.GreedyBasis()
+	}
 	raw, err := l.Model.SolveWarm(opt, warm)
 	if err != nil {
 		return nil, err

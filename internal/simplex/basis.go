@@ -1,7 +1,6 @@
 package simplex
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/lu"
@@ -56,11 +55,11 @@ func (b *basis) etaNnz() int { return len(b.etaIdx) }
 func (b *basis) maskWords() int { return (b.m + 63) / 64 }
 
 // refactor rebuilds the LU factorization from the given basis columns.
-// colOf must append the column of the constraint matrix for variable v
-// into the provided builder at basis position r.
+// The caller (solver.refactor) wraps any error with solve context —
+// phase, iteration, refactorization count.
 func (b *basis) refactor(cols *sparse.Matrix) error {
 	if err := b.lu.Factor(cols); err != nil {
-		return fmt.Errorf("simplex: basis refactorization failed: %w", err)
+		return err
 	}
 	b.mat = cols
 	b.etaPtr = b.etaPtr[:1]
@@ -69,6 +68,15 @@ func (b *basis) refactor(cols *sparse.Matrix) error {
 	b.etaVal = b.etaVal[:0]
 	b.etaMask = b.etaMask[:0]
 	return nil
+}
+
+// deficiency diagnoses a basis matrix that refused to factorize: it
+// reruns the elimination in repair mode and returns the dependent
+// basis positions (columns of cols) and the rows left unpivoted. The
+// factorization object is left incomplete either way; the caller must
+// refactor() after swapping the offenders out.
+func (b *basis) deficiency(cols *sparse.Matrix) (positions, rows []int, err error) {
+	return b.lu.FactorDeficient(cols)
 }
 
 // pushEtaMask appends the index bitmask for the eta whose entries start

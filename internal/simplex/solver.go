@@ -257,36 +257,83 @@ type solver struct {
 	degenStreak int
 	pivots      int // pivots since last refactorization
 	iters       int
+	phase       int // current phase (1 or 2), for error context
+
+	// Singular-basis repair state. allowRepair is off during warm-start
+	// validation, where rejecting the basis is the correct response to
+	// singularity. repaired marks that the basis just changed under the
+	// solve's feet, so refactor must re-verify primal feasibility.
+	allowRepair bool
+	repaired    bool
+
+	// Anti-degeneracy perturbation state: savedCost holds the true phase
+	// costs while perturbed (restored — and optimality re-verified —
+	// before any terminal status is reported).
+	perturbed bool
+	savedCost []float64
 
 	// Telemetry accumulators, flushed to Options.Obs once per solve
-	// (see flushObs). warm records the warm-start outcome.
-	warm       WarmOutcome
-	nRefactor  int
-	prefTested int64 // nonbasic columns seen by the CSR pricing sweep
-	prefPassed int64 // columns that survived the dj² ≥ bestScore prefilter
+	// (see flushObs). warm records the warm-start outcome; isRetry marks
+	// the strict singular retry so logical solves are counted once.
+	warm           WarmOutcome
+	isRetry        bool
+	nRefactor      int
+	nDegen         int   // degenerate (zero-step) pivots this solve
+	degenAtPerturb int   // nDegen at the last perturbation (trigger baseline)
+	nRepairs       int   // dependent basis columns swapped for artificials
+	nPerturb       int   // cost perturbations applied on degenerate stalls
+	restarts       int   // two-phase restarts after an infeasible repair
+	prefTested     int64 // nonbasic columns seen by the CSR pricing sweep
+	prefPassed     int64 // columns that survived the dj² ≥ bestScore prefilter
 }
+
+// Repair / anti-degeneracy limits. Each is a last-resort bound, not a
+// tuning knob: repairs normally succeed on the first attempt and
+// perturbations resolve a stall within one or two escalations.
+const (
+	maxRepairAttempts = 4 // deficiency-swap rounds per refactorization
+	maxRestarts       = 3 // two-phase restarts after infeasible repairs
+	maxPerturb        = 6 // cost perturbations per solveOnce
+)
+
+// crashMinRows gates the slack-crash start: at or above this row count
+// the cold start seats feasible singleton (slack) columns in the basis
+// instead of artificials, which collapses phase 1 on the big
+// interval-indexed LPs (capacity rows are all inequalities). Below it
+// the historical all-artificial start is kept so every committed
+// golden trace and pivot-sequence differential stays byte-identical.
+const crashMinRows = 5000
+
+// errRestartPhases is an internal sentinel: a basis repair succeeded
+// numerically but left the basic values primal infeasible, so the
+// two-phase method must restart from a fresh artificial basis (run's
+// loop handles it; it never escapes Solve).
+var errRestartPhases = errors.New("simplex: restart phases after basis repair")
 
 // Solve minimizes the problem. An error is returned only for malformed
 // input or unrecoverable numerical failure; infeasibility, unboundedness
 // and iteration exhaustion are reported through Solution.Status.
 //
-// A solve that drives the basis numerically singular (rare: a chain of
-// small ratio-test pivots) is retried once with a stricter pivot
-// threshold and more frequent refactorization before the error is
-// surfaced.
+// A numerically singular basis is normally repaired in place: the
+// dependent basic columns identified by the failed elimination are
+// swapped for artificial columns and the solve continues (restarting
+// the two-phase method if the swap leaves the point infeasible). Only
+// when repair itself fails is the whole solve retried once with a
+// stricter pivot threshold and more frequent refactorization, before
+// the error is surfaced.
 func Solve(p *Problem, opt Options) (*Solution, error) {
-	sol, err := solveOnce(p, opt, 1e-9)
+	sol, err := solveOnce(p, opt, 1e-9, false)
 	if err != nil && errors.Is(err, lu.ErrSingular) {
 		strict := opt
 		if strict.RefactorEvery == 0 || strict.RefactorEvery > 40 {
 			strict.RefactorEvery = 40
 		}
-		return solveOnce(p, strict, 1e-6)
+		return solveOnce(p, strict, 1e-6, true)
 	}
 	return sol, err
 }
 
-func solveOnce(p *Problem, opt Options, minPiv float64) (*Solution, error) {
+func solveOnce(p *Problem, opt Options, minPiv float64, retry bool) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -317,7 +364,9 @@ func solveOnce(p *Problem, opt Options, minPiv float64) (*Solution, error) {
 		nbPos:   make([]int32, n+m),
 		fixed:   make([]bool, n+m),
 		minPiv:  minPiv,
+		isRetry: retry,
 	}
+	s.allowRepair = true
 	s.buildCSR()
 	defer s.flushObs()
 	return s.run()
@@ -425,24 +474,77 @@ func (s *solver) logf(format string, args ...any) {
 
 func (s *solver) run() (*Solution, error) {
 	if s.opt.WarmStart != nil {
+		s.allowRepair = false // singular warm basis must be rejected, not repaired
 		s.warm = s.tryWarmStart()
+		s.allowRepair = true
 		if s.warm == WarmAccepted {
+			if s.opt.Logf != nil {
+				obj := 0.0
+				for j := 0; j < s.n; j++ {
+					if s.state[j] != stBasic {
+						obj += s.prob.C[j] * s.value(j)
+					}
+				}
+				for i := 0; i < s.m; i++ {
+					if j := s.basisOf[i]; j < s.n {
+						obj += s.prob.C[j] * s.xB[i]
+					}
+				}
+				s.logf("warm start accepted: phase 2 from objective %g", obj)
+			}
 			// The warm basis is primal feasible: phase 2 directly.
 			status, err := s.iterate(2)
-			if err != nil {
+			if err == nil {
+				return s.finish(status), nil
+			}
+			if !errors.Is(err, errRestartPhases) {
 				return nil, err
 			}
-			return s.finish(status), nil
+			// A mid-solve repair left the warm basis infeasible: fall
+			// back to the two-phase method via a crash restart.
+			s.restarts++
+			s.logf("basis repair left warm-started point infeasible; restarting two-phase solve")
+			s.crashRestart()
+		} else {
+			s.artFixed = false // shed any residue of a rejected warm start
+			s.initBasis()
 		}
+	} else {
+		s.initBasis()
 	}
-	s.artFixed = false // shed any residue of a rejected warm start
+	for {
+		sol, err := s.phases()
+		if err == nil || !errors.Is(err, errRestartPhases) {
+			return sol, err
+		}
+		if s.restarts >= maxRestarts {
+			// Give up on in-place repair; wrapping ErrSingular hands the
+			// problem to Solve's strict whole-solve retry.
+			return nil, fmt.Errorf("simplex: basis repair could not restore feasibility after %d restarts: %w",
+				s.restarts, lu.ErrSingular)
+		}
+		s.restarts++
+		s.logf("basis repair left the point infeasible; restarting two-phase solve (restart %d)", s.restarts)
+		s.crashRestart()
+	}
+}
 
-	s.initBasis()
-
+// phases runs the two-phase method from the currently installed basis:
+// phase 1 minimizes the artificial sum, phase 2 the real costs. It is
+// entered from a fresh initBasis and re-entered (via run's loop) after
+// a crash restart when a basis repair left the point infeasible.
+func (s *solver) phases() (*Solution, error) {
 	// Phase 1: minimize the sum of artificial variables.
+	s.artFixed = false
+	s.perturbed = false // phase costs rebuilt below; drop any stale perturbation
+	for j := 0; j < s.n; j++ {
+		s.cost[j] = 0
+	}
 	for i := 0; i < s.m; i++ {
 		s.cost[s.n+i] = 1
 	}
+	s.bland = false
+	s.degenStreak = 0
 	status, err := s.iterate(1)
 	if err != nil {
 		return nil, err
@@ -479,6 +581,24 @@ func (s *solver) run() (*Solution, error) {
 		return nil, err
 	}
 	return s.finish(status), nil
+}
+
+// crashRestart rebuilds a valid phase-1 start after a basis repair left
+// the point infeasible, preserving as much of the incumbent as it can:
+// every nonbasic variable keeps its bound, basic structurals are kicked
+// to the bound nearest their current value, and a fresh artificial
+// basis absorbs the residual.
+func (s *solver) crashRestart() {
+	s.artFixed = false
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == stBasic {
+			s.setNonbasicNear(j, s.xB[s.inRow[j]])
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		s.basisOf[i] = -1
+	}
+	s.installArtificialBasis()
 }
 
 // basicValueOf returns the value of variable j if basic, else its
@@ -550,12 +670,8 @@ func (s *solver) tryWarmStart() WarmOutcome {
 	}
 	// refactor recomputed xB from scratch; verify primal feasibility
 	// with the same scaled tolerance the phase-1 exit check uses.
-	tol := s.opt.Tol * (1 + sparse.InfNorm(s.prob.B)) * 10
-	for i := 0; i < s.m; i++ {
-		j := s.basisOf[i]
-		if v := s.xB[i]; v < s.lb(j)-tol || v > s.ub(j)+tol {
-			return WarmRejectedInfeasible
-		}
+	if !s.basicFeasible() {
+		return WarmRejectedInfeasible
 	}
 	copy(s.cost[:s.n], s.prob.C)
 	for i := 0; i < s.m; i++ {
@@ -565,8 +681,9 @@ func (s *solver) tryWarmStart() WarmOutcome {
 }
 
 // initBasis places structural variables on their nearest finite bound
-// (or zero for free variables) and installs an artificial basis that
-// absorbs the residual.
+// (or zero for free variables) and installs a starting basis that
+// absorbs the residual: on large problems a slack crash seats feasible
+// singleton columns first, and artificials cover whatever remains.
 func (s *solver) initBasis() {
 	for j := 0; j < s.n; j++ {
 		s.inRow[j] = -1
@@ -584,7 +701,73 @@ func (s *solver) initBasis() {
 			s.state[j] = stUpper
 		}
 	}
-	// Residual r = b − A·x_N.
+	for i := 0; i < s.m; i++ {
+		s.basisOf[i] = -1
+	}
+	if s.m >= crashMinRows {
+		s.slackCrash()
+	}
+	s.installArtificialBasis()
+}
+
+// slackCrash seats singleton structural columns — in practice the lp
+// layer's inequality slacks — basic on their rows wherever the implied
+// value lands inside the column's bounds. Each seated column satisfies
+// its row exactly, so the artificial for that row starts (and with cost
+// 1 stays) nonbasic and phase 1 only has to price out artificials on
+// the uncovered rows. Columns are scanned in ascending order so the
+// crash is deterministic.
+func (s *solver) slackCrash() {
+	// Residual r = b − A·x_N with every structural at its initial
+	// nonbasic placement.
+	r := s.v2
+	copy(r, s.prob.B)
+	for j := 0; j < s.n; j++ {
+		if v := s.value(j); v != 0 {
+			idx, val := s.prob.A.Col(j)
+			for k, i := range idx {
+				r[i] -= val[k] * v
+			}
+		}
+	}
+	seated := 0
+	for j := 0; j < s.n; j++ {
+		idx, val := s.prob.A.Col(j)
+		if len(idx) != 1 || math.Abs(val[0]) < 1e-7 {
+			continue
+		}
+		i := idx[0]
+		if s.basisOf[i] >= 0 {
+			continue
+		}
+		// Value the column must take to absorb the row residual, adding
+		// back its own nonbasic contribution already counted in r.
+		xj := (r[i] + val[0]*s.value(j)) / val[0]
+		if xj < s.lb(j) || xj > s.ub(j) {
+			continue
+		}
+		s.state[j] = stBasic
+		s.inRow[j] = i
+		s.basisOf[i] = j
+		seated++
+	}
+	for i := range r {
+		r[i] = 0
+	}
+	if seated > 0 {
+		s.logf("slack crash seated %d of %d rows", seated, s.m)
+	}
+}
+
+// installArtificialBasis makes the artificial variable basic on every
+// row not already covered by a crash-seated column, signed to absorb
+// the residual b − A·x_N of the current nonbasic structural values.
+// Shared by the cold start and crash restarts (which clear basisOf
+// first, so they rebuild a full artificial basis).
+func (s *solver) installArtificialBasis() {
+	// Residual r = b − A·x_N. Crash-seated basic columns contribute
+	// nothing here (value() is 0 for stBasic); their rows' entries are
+	// unused below and xB is recomputed from the factorization anyway.
 	r := s.v2
 	copy(r, s.prob.B)
 	for j := 0; j < s.n; j++ {
@@ -596,27 +779,54 @@ func (s *solver) initBasis() {
 		}
 	}
 	for i := 0; i < s.m; i++ {
+		j := s.n + i
+		if s.basisOf[i] >= 0 && s.basisOf[i] < s.n {
+			// Row covered by the slack crash: its artificial starts
+			// nonbasic at zero.
+			s.artSign[i] = 1
+			s.state[j] = stLower
+			s.inRow[j] = -1
+			continue
+		}
 		sign := 1.0
 		if r[i] < 0 {
 			sign = -1
 		}
 		s.artSign[i] = sign
-		j := s.n + i
 		s.state[j] = stBasic
 		s.inRow[j] = i
 		s.basisOf[i] = j
 		s.xB[i] = sign * r[i] // = |r_i| ≥ 0
 	}
 	if err := s.refactor(); err != nil {
-		// The artificial basis is ±identity; this cannot fail.
+		// The crash basis is lower-triangular up to a permutation
+		// (singleton columns plus ±identity artificials); this cannot
+		// fail, and refactor would repair it even if it could.
 		panic(err)
 	}
 }
 
-// refactor rebuilds the LU factorization from the current basis and
-// recomputes xB from scratch to shed accumulated roundoff.
-func (s *solver) refactor() error {
-	s.nRefactor++
+// setNonbasicNear makes variable j nonbasic at the bound nearest value
+// v (free variables go to the zero reference state).
+func (s *solver) setNonbasicNear(j int, v float64) {
+	l, u := s.lb(j), s.ub(j)
+	switch {
+	case math.IsInf(l, -1) && math.IsInf(u, 1):
+		s.state[j] = stFree
+	case math.IsInf(l, -1):
+		s.state[j] = stUpper
+	case math.IsInf(u, 1):
+		s.state[j] = stLower
+	case math.Abs(v-l) <= math.Abs(u-v):
+		s.state[j] = stLower
+	default:
+		s.state[j] = stUpper
+	}
+	s.inRow[j] = -1
+}
+
+// basisMatrix assembles the current basis columns into an m×m matrix.
+func (s *solver) basisMatrix() *sparse.Matrix {
 	bld := sparse.NewBuilder(s.m, s.m)
 	for rpos := 0; rpos < s.m; rpos++ {
 		j := s.basisOf[rpos]
@@ -629,8 +839,30 @@ func (s *solver) refactor() error {
 			bld.Add(j-s.n, rpos, s.artSign[j-s.n])
 		}
 	}
-	if err := s.bas.refactor(bld.Build()); err != nil {
-		return err
+	return bld.Build()
+}
+
+// refactor rebuilds the LU factorization from the current basis and
+// recomputes xB from scratch to shed accumulated roundoff. A singular
+// basis is repaired in place (repairBasis) rather than surfaced, up to
+// a bounded number of attempts; when a repair changed the basis, the
+// recomputed point is checked for primal feasibility and
+// errRestartPhases is returned if it was lost.
+func (s *solver) refactor() error {
+	s.nRefactor++
+	mat := s.basisMatrix()
+	err := s.bas.refactor(mat)
+	for attempt := 0; err != nil && errors.Is(err, lu.ErrSingular) && s.allowRepair && attempt < maxRepairAttempts; attempt++ {
+		if rerr := s.repairBasis(mat); rerr != nil {
+			s.logf("basis repair abandoned: %v", rerr)
+			break
+		}
+		mat = s.basisMatrix()
+		err = s.bas.refactor(mat)
+	}
+	if err != nil {
+		return fmt.Errorf("simplex: basis refactorization failed (phase %d, iteration %d, refactorization %d): %w",
+			s.phase, s.iters, s.nRefactor, err)
 	}
 	// xB = B⁻¹ (b − Σ_nonbasic a_j v_j)
 	r := s.v2
@@ -656,6 +888,60 @@ func (s *solver) refactor() error {
 		r[i] = 0
 	}
 	s.pivots = 0
+	if s.repaired {
+		s.repaired = false
+		if !s.basicFeasible() {
+			return errRestartPhases
+		}
+		s.logf("basis repair preserved primal feasibility; continuing")
+	}
+	return nil
+}
+
+// basicFeasible reports whether every basic value respects its bounds,
+// under the same scaled tolerance as the phase-1 exit check.
+func (s *solver) basicFeasible() bool {
+	tol := s.opt.Tol * (1 + sparse.InfNorm(s.prob.B)) * 10
+	for i := 0; i < s.m; i++ {
+		j := s.basisOf[i]
+		if v := s.xB[i]; v < s.lb(j)-tol || v > s.ub(j)+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// repairBasis swaps the dependent columns of a numerically singular
+// basis for artificial unit columns on the rows the failed elimination
+// left unpivoted; the displaced variables go to their nearest bound.
+// The artificial for an unpivoted row is necessarily nonbasic: unit
+// columns are eliminated first (fewest nonzeros) and always pivot
+// their own row.
+func (s *solver) repairBasis(mat *sparse.Matrix) error {
+	positions, rows, err := s.bas.deficiency(mat)
+	if err != nil {
+		return err
+	}
+	if len(positions) == 0 || len(positions) != len(rows) {
+		return fmt.Errorf("deficiency analysis returned %d dependent columns for %d unpivoted rows",
+			len(positions), len(rows))
+	}
+	for k, rpos := range positions {
+		i := rows[k]
+		art := s.n + i
+		if s.state[art] == stBasic {
+			return fmt.Errorf("artificial for unpivoted row %d is already basic", i)
+		}
+		old := s.basisOf[rpos]
+		s.setNonbasicNear(old, s.xB[rpos])
+		s.state[art] = stBasic
+		s.inRow[art] = rpos
+		s.basisOf[rpos] = art
+	}
+	s.nRepairs += len(positions)
+	s.repaired = true
+	s.logf("repaired singular basis: swapped %d dependent column(s) for artificials (phase %d, iteration %d, total repairs %d)",
+		len(positions), s.phase, s.iters, s.nRepairs)
 	return nil
 }
 
@@ -917,6 +1203,77 @@ func (s *solver) updatePricingAfterPivot(q, r int, alpha float64, leaving int) {
 	}
 }
 
+// perturbNoise derives a reproducible pseudo-random factor in [0.5, 1)
+// and a sign bit for variable j in perturbation round seq (splitmix64
+// finalizer: no global state, identical across runs and platforms).
+func perturbNoise(j, seq int) (float64, bool) {
+	z := (uint64(j)+1)*0x9E3779B97F4A7C15 + uint64(seq)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return 0.5 + float64(z>>11)/float64(1<<54), z&1 == 1
+}
+
+// perturb applies a bounded deterministic cost perturbation to break a
+// degenerate stall: each non-fixed variable's cost moves by
+// ε_j = mag·(1+|c_j|)·ψ_j, signed to keep the current point
+// near-optimal (at-lower-bound reduced costs pushed up, at-upper
+// pushed down), with mag doubling on each escalation. The true costs
+// are saved in savedCost; unperturb restores them, and every terminal
+// status is re-verified against them before being reported.
+func (s *solver) perturb() {
+	if s.perturbed {
+		copy(s.cost, s.savedCost) // escalate from the true costs
+	} else {
+		if s.savedCost == nil {
+			s.savedCost = make([]float64, len(s.cost))
+		}
+		copy(s.savedCost, s.cost)
+		s.perturbed = true
+	}
+	s.nPerturb++
+	esc := s.nPerturb - 1
+	if esc > 6 {
+		esc = 6
+	}
+	mag := 100 * s.opt.Tol * float64(int(1)<<uint(esc))
+	for j := 0; j < s.total; j++ {
+		if s.lb(j) == s.ub(j) {
+			continue // fixed variables cannot move; perturbing them is noise
+		}
+		psi, flip := perturbNoise(j, s.nPerturb)
+		e := mag * (1 + math.Abs(s.cost[j])) * psi
+		switch s.state[j] {
+		case stUpper:
+			e = -e
+		case stBasic, stFree:
+			if flip {
+				e = -e
+			}
+		}
+		s.cost[j] += e
+	}
+	s.bland = false
+	s.degenStreak = 0
+	s.recomputeReducedCosts()
+	s.resetDevex()
+}
+
+// unperturb restores the true phase costs after a perturbation;
+// reprice refreshes the reduced costs for callers that keep iterating.
+func (s *solver) unperturb(reprice bool) {
+	if !s.perturbed {
+		return
+	}
+	copy(s.cost, s.savedCost)
+	s.perturbed = false
+	if reprice {
+		s.recomputeReducedCosts()
+	}
+}
+
 // ratioResult describes the outcome of the ratio test.
 type ratioResult struct {
 	t         float64 // step length
@@ -930,6 +1287,14 @@ type ratioResult struct {
 func (s *solver) ratioTest(j int, dir float64, w []float64, wIdx []int) ratioResult {
 	tol := s.opt.Tol
 	pivTol := s.minPiv
+	if s.perturbed && pivTol < 1e-8 {
+		// Harris tightening under anti-degeneracy perturbation: refuse
+		// the tiny pivots that drive bases singular during stalls. A
+		// column rejected wholesale reports unbounded; iterate then
+		// unperturbs (dropping the tightening) and re-prices, so no
+		// genuine pivot is ever lost.
+		pivTol = 1e-8
+	}
 	stepLimit := math.Inf(1)
 	if l, u := s.lb(j), s.ub(j); !math.IsInf(l, -1) && !math.IsInf(u, 1) {
 		stepLimit = u - l
@@ -1013,16 +1378,30 @@ func (s *solver) ratioTest(j int, dir float64, w []float64, wIdx []int) ratioRes
 // change) and refreshed from scratch after refactorizations; Devex
 // weights guide the entering choice.
 func (s *solver) iterate(phase int) (Status, error) {
+	s.phase = phase
 	degenLimit := 2*s.m + 200
+	// Budget of cumulative degenerate pivots between perturbations:
+	// generous enough that small LPs never perturb (their historical
+	// pivot sequences stay untouched), tight enough that a 25k-row
+	// basis perturbs long before burning tens of thousands of pivots.
+	perturbLimit := 500 + s.m/8
 	s.recomputeReducedCosts()
 	s.resetDevex()
 	verifiedOptimal := false
 	for {
 		if s.iters >= s.opt.MaxIter {
+			s.unperturb(false)
 			return IterLimit, nil
 		}
 		j, dir := s.price()
 		if j < 0 {
+			if s.perturbed {
+				// Optimal for the perturbed costs only: restore the true
+				// costs and re-verify (renewed stalling may perturb again).
+				s.unperturb(true)
+				verifiedOptimal = true
+				continue
+			}
 			if !verifiedOptimal {
 				// Guard against reduced-cost drift: refresh and re-price
 				// once before declaring optimality.
@@ -1072,6 +1451,14 @@ func (s *solver) iterate(phase int) (Status, error) {
 
 		res := s.ratioTest(j, dir, s.w, s.wIdx)
 		if res.unbounded {
+			if s.perturbed {
+				// The ray is eligible only under the perturbed costs, or
+				// the tightened ratio test rejected every pivot: restore
+				// the true costs and re-price before believing it.
+				s.unperturb(true)
+				verifiedOptimal = false
+				continue
+			}
 			if phase == 1 {
 				// Phase-1 objective is bounded below by zero; an
 				// unbounded ray indicates numerical trouble.
@@ -1082,10 +1469,22 @@ func (s *solver) iterate(phase int) (Status, error) {
 		s.iters++
 
 		if res.t <= s.opt.Tol {
+			s.nDegen++
 			s.degenStreak++
 			if s.degenStreak > degenLimit && !s.bland {
 				s.logf("degenerate streak %d at iter %d: enabling Bland's rule", s.degenStreak, s.iters)
 				s.bland = true
+			}
+			// Stalling on large LPs is diffuse — thousands of short
+			// degenerate bursts interleaved with tiny real steps — so
+			// the trigger is cumulative degenerate work since the last
+			// perturbation, not consecutive-streak length.
+			if s.nDegen-s.degenAtPerturb > perturbLimit && s.nPerturb < maxPerturb {
+				s.logf("%d degenerate pivots since last perturbation at iter %d: perturbing costs (perturbation %d)",
+					s.nDegen-s.degenAtPerturb, s.iters, s.nPerturb+1)
+				s.perturb()
+				s.degenAtPerturb = s.nDegen
+				continue // re-price under the perturbed costs
 			}
 		} else {
 			s.degenStreak = 0
