@@ -1,0 +1,26 @@
+# Entry points for the checks CI runs; `make lint` is the one to run
+# before pushing.
+
+GO ?= go
+
+.PHONY: all build test lint fmt vet
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the repository's own analysis suite (see internal/analysis
+# and cmd/coflowlint): the determinism, telemetry, and cancellation
+# contracts. Zero findings is the merge bar.
+lint:
+	$(GO) run ./cmd/coflowlint ./...

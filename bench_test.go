@@ -74,7 +74,7 @@ func BenchmarkLPSinglePath(b *testing.B) {
 	opt := core.Options{Grid: core.DefaultGrid(in, coflow.SinglePath, 24)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SolveLP(in, coflow.SinglePath, opt); err != nil {
+		if _, err := core.SolveLP(context.Background(), in, coflow.SinglePath, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -86,7 +86,7 @@ func BenchmarkLPFreePath(b *testing.B) {
 	opt := core.Options{Grid: core.DefaultGrid(in, coflow.FreePath, 20)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SolveLP(in, coflow.FreePath, opt); err != nil {
+		if _, err := core.SolveLP(context.Background(), in, coflow.FreePath, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,7 +97,7 @@ func BenchmarkLPFreePath(b *testing.B) {
 func BenchmarkStretchRounding(b *testing.B) {
 	in := benchInstance(b, true, 8)
 	opt := core.Options{Grid: core.DefaultGrid(in, coflow.SinglePath, 24)}
-	sol, err := core.SolveLP(in, coflow.SinglePath, opt)
+	sol, err := core.SolveLP(context.Background(), in, coflow.SinglePath, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func BenchmarkStretchRounding(b *testing.B) {
 func BenchmarkStretchTrialsParallel(b *testing.B) {
 	in := benchInstance(b, false, 4)
 	grid := core.DefaultGrid(in, coflow.FreePath, 24)
-	sol, err := core.SolveLP(in, coflow.FreePath, core.Options{Grid: grid})
+	sol, err := core.SolveLP(context.Background(), in, coflow.FreePath, core.Options{Grid: grid})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func BenchmarkStretchTrialsParallel(b *testing.B) {
 func BenchmarkAblationCompaction(b *testing.B) {
 	in := benchInstance(b, true, 8)
 	grid := core.DefaultGrid(in, coflow.SinglePath, 24)
-	sol, err := core.SolveLP(in, coflow.SinglePath, core.Options{Grid: grid})
+	sol, err := core.SolveLP(context.Background(), in, coflow.SinglePath, core.Options{Grid: grid})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func BenchmarkAblationGridResolution(b *testing.B) {
 			opt := core.Options{Grid: timegrid.Uniform(scale.slots)}
 			var bound float64
 			for i := 0; i < b.N; i++ {
-				sol, err := core.SolveLP(in, coflow.SinglePath, opt)
+				sol, err := core.SolveLP(context.Background(), in, coflow.SinglePath, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -199,7 +199,7 @@ func BenchmarkAblationGridResolution(b *testing.B) {
 func BenchmarkAblationLambdaDistribution(b *testing.B) {
 	in := benchInstance(b, true, 8)
 	grid := core.DefaultGrid(in, coflow.SinglePath, 24)
-	sol, err := core.SolveLP(in, coflow.SinglePath, core.Options{Grid: grid})
+	sol, err := core.SolveLP(context.Background(), in, coflow.SinglePath, core.Options{Grid: grid})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func BenchmarkTerra(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := baselines.Terra(in); err != nil {
+		if _, err := baselines.Terra(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,7 +250,7 @@ func BenchmarkJahanjou(b *testing.B) {
 	horizon := in.HorizonUpperBound(coflow.SinglePath) + 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := baselines.Jahanjou(in, horizon, baselines.JahanjouEpsilon, 0.5); err != nil {
+		if _, err := baselines.Jahanjou(context.Background(), in, horizon, baselines.JahanjouEpsilon, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -245,7 +245,7 @@ func main() {
 			fatal(err)
 		}
 	case *runFile != "":
-		if err := runInstance(*runFile, *modelFlag, *trials, *seed, *slots, *workers, *terra, *validF); err != nil {
+		if err := runInstance(ctx, *runFile, *modelFlag, *trials, *seed, *slots, *workers, *terra, *validF); err != nil {
 			fatal(err)
 		}
 	default:
@@ -707,7 +707,7 @@ func loadInstance(path string) (*coflow.Instance, error) {
 	return coflow.ReadJSON(f)
 }
 
-func runInstance(path, modelStr string, trials int, seed int64, slots, workers int, withTerra, validateF bool) error {
+func runInstance(ctx context.Context, path, modelStr string, trials int, seed int64, slots, workers int, withTerra, validateF bool) error {
 	in, err := loadInstance(path)
 	if err != nil {
 		return err
@@ -745,7 +745,7 @@ func runInstance(path, modelStr string, trials int, seed int64, slots, workers i
 		fmt.Println("validate:            ok (heuristic schedule replayed)")
 	}
 	if withTerra && mode == coflow.FreePath {
-		tr, err := baselines.Terra(in)
+		tr, err := baselines.Terra(ctx, in)
 		if err != nil {
 			return fmt.Errorf("terra: %w", err)
 		}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -50,7 +51,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sol, err := m.Solve(simplex.Options{MaxIter: *maxIter})
+	sol, err := m.Solve(context.Background(), simplex.Options{MaxIter: *maxIter})
 	if err != nil {
 		fatal(err)
 	}

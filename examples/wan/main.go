@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -37,7 +38,7 @@ func main() {
 		log.Fatal(err)
 	}
 	horizon := inst.HorizonUpperBound(coflow.SinglePath) + 1
-	jr, err := baselines.Jahanjou(inst, horizon, baselines.JahanjouEpsilon, 0.5)
+	jr, err := baselines.Jahanjou(context.Background(), inst, horizon, baselines.JahanjouEpsilon, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := baselines.Terra(unweighted)
+	tr, err := baselines.Terra(context.Background(), unweighted)
 	if err != nil {
 		log.Fatal(err)
 	}

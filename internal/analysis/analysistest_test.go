@@ -1,0 +1,212 @@
+package analysis
+
+// A minimal analysistest: fixture packages live under
+// testdata/src/<analyzer>/<pkg>, and every expected diagnostic is
+// declared in the fixture itself with a trailing comment of the form
+//
+//	expr // want `regex` `another regex`
+//
+// Each want pattern must match exactly one finding on its line (after
+// suppression filtering, so the suppress fixtures exercise the real
+// pipeline), and every finding must be claimed by a want — failing
+// and passing fixtures use one mechanism.
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+// fixtureImporter resolves imports for fixture packages: paths that
+// name a directory under testdata/src are type-checked from source
+// (so fixtures can model pool/simplex/obs shapes), everything else is
+// loaded from compiler export data located lazily via `go list`.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	root    string
+	cache   map[string]*LoadedPackage
+	exports map[string]string
+	std     types.Importer
+}
+
+func newFixtureImporter(fset *token.FileSet, root string) *fixtureImporter {
+	fi := &fixtureImporter{
+		fset:    fset,
+		root:    root,
+		cache:   map[string]*LoadedPackage{},
+		exports: map[string]string{},
+	}
+	fi.std = importer.ForCompiler(fset, "gc", exportLookup(fi.exports))
+	return fi
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		lp, err := fi.loadDir(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.Pkg, nil
+	}
+	if _, ok := fi.exports[path]; !ok {
+		pkgs, err := goList(".", []string{path})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				fi.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return fi.std.Import(path)
+}
+
+// loadDir parses and type-checks one fixture package by its path
+// relative to testdata/src.
+func (fi *fixtureImporter) loadDir(path string) (*LoadedPackage, error) {
+	if lp, ok := fi.cache[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	lp, err := CheckPackage(fi.fset, path, names, fi)
+	if err != nil {
+		return nil, err
+	}
+	fi.cache[path] = lp
+	return lp, nil
+}
+
+// want markers: `regex` or "regex" tokens after the word want.
+var (
+	wantMarker = regexp.MustCompile("want\\s+((?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")(?:\\s+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))*)")
+	wantToken  = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func parseWants(t *testing.T, lp *LoadedPackage) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := lp.Fset.Position(c.Pos())
+				for _, tok := range wantToken.FindAllString(m[1], -1) {
+					pat := tok[1 : len(tok)-1]
+					if tok[0] == '"' {
+						var err error
+						if pat, err = strconv.Unquote(tok); err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, tok, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixture checks one analyzer against fixture packages: findings
+// and want comments must match one-to-one.
+func runFixture(t *testing.T, a *Analyzer, dirs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	fi := newFixtureImporter(fset, filepath.Join("testdata", "src"))
+	for _, dir := range dirs {
+		lp, err := fi.loadDir(dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		wants := parseWants(t, lp)
+		findings := RunPackage(lp, []*Analyzer{a})
+		for _, f := range findings {
+			claimed := false
+			for i := range wants {
+				w := &wants[i]
+				if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+					continue
+				}
+				if w.re.MatchString(f.Message) {
+					w.matched = true
+					claimed = true
+					break
+				}
+			}
+			if !claimed {
+				t.Errorf("unexpected finding: %s", f)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no %s finding matched want %q", w.file, w.line, a.Name, w.re)
+			}
+		}
+	}
+}
+
+func TestDetrange(t *testing.T)   { runFixture(t, Detrange, "detrange/sim", "detrange/other") }
+func TestStablesort(t *testing.T) { runFixture(t, Stablesort, "stablesort/lp", "stablesort/other") }
+func TestWalltime(t *testing.T) {
+	runFixture(t, Walltime, "walltime/a", "walltime/obs", "walltime/cmd/clock")
+}
+func TestGlobalrand(t *testing.T) { runFixture(t, Globalrand, "globalrand/a", "globalrand/b") }
+func TestObslabels(t *testing.T)  { runFixture(t, Obslabels, "obslabels/app") }
+func TestCtxflow(t *testing.T)    { runFixture(t, Ctxflow, "ctxflow/app") }
+
+// TestSuppression runs stablesort over the suppression fixture: the
+// directives there silence exactly the diagnostics they name, and the
+// malformed ones surface as findings of their own.
+func TestSuppression(t *testing.T) { runFixture(t, Stablesort, "suppress/sim") }
+
+// TestByName covers suite subsetting and the unknown-name error.
+func TestByName(t *testing.T) {
+	got, err := ByName("detrange", "ctxflow")
+	if err != nil || len(got) != 2 || got[0] != Detrange || got[1] != Ctxflow {
+		t.Fatalf("ByName(detrange, ctxflow) = %v, %v", got, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) succeeded, want error")
+	}
+}
+
+// TestTreeSatellites runs the full suite over the packages this PR's
+// determinism fixes touched; they must stay clean.
+func TestTreeSatellites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the tree")
+	}
+	findings, err := Run("../..", []string{"./internal/graph", "./internal/topo", "./internal/model"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding on clean tree: %s", f)
+	}
+}

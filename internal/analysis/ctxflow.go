@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces the cancellation contract: an exported function
+// that dispatches work to internal/pool or calls simplex.Solve must
+// accept a context.Context and forward it, not mint a fresh
+// context.Background()/TODO(). Those are the two places where the
+// program blocks for unbounded time (parallel fan-out, LP pivoting);
+// a caller that cannot cancel them cannot implement deadlines at the
+// daemon layer. Function literals are exempt — a closure's context
+// discipline is its enclosing function's problem — as are the pool
+// and simplex packages themselves.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported functions dispatching to pool or simplex.Solve must take and forward ctx",
+	Run:  runCtxflow,
+}
+
+// blockingCall reports whether the call is one of the contract's
+// blocking entry points: any internal/pool package function, or
+// simplex.Solve.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	base := pathBase(fn.Pkg().Path())
+	if base == "pool" && hasPathSegment(fn.Pkg().Path(), "internal") {
+		return "pool." + fn.Name(), true
+	}
+	if funcFrom(fn, "simplex", "Solve") {
+		return "simplex.Solve", true
+	}
+	return "", false
+}
+
+func runCtxflow(pass *Pass) {
+	base := pathBase(pass.PkgPath)
+	if base == "pool" || base == "simplex" {
+		return // the defining packages are below the contract line
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkFuncDecl(pass, fd)
+		}
+	}
+}
+
+func checkFuncDecl(pass *Pass, fd *ast.FuncDecl) {
+	obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	sig := obj.Signature()
+	hasCtx := ctxParamIndex(sig) >= 0
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // closures are checked at their call discipline, not here
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, blocking := blockingCall(pass, call)
+		if !blocking {
+			return true
+		}
+		if !hasCtx {
+			pass.Reportf(call.Pos(),
+				"exported %s calls %s but has no context.Context parameter; accept ctx and forward it",
+				fd.Name.Name, callee)
+			return true
+		}
+		if freshCtxArg(pass, call) {
+			pass.Reportf(call.Pos(),
+				"exported %s passes a fresh context to %s instead of forwarding its own ctx",
+				fd.Name.Name, callee)
+		}
+		return true
+	})
+}
+
+// freshCtxArg reports whether any argument is context.Background() or
+// context.TODO() — minting a fresh root severs the cancellation chain.
+func freshCtxArg(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(pass.Info, inner)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			continue
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			return true
+		}
+	}
+	return false
+}

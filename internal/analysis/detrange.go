@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detrange flags `for range` over a map in a determinism-critical
+// package when the loop body writes to state declared outside the
+// loop: Go randomizes map iteration order, so such a loop can imprint
+// a different order on its output every run. The one blessed idiom is
+// collect-then-sort — a loop that only appends keys or values to
+// slices that are all passed to a sort function later in the same
+// block. Anything else needs either sorted keys up front
+// (`for _, k := range slices.Sorted(maps.Keys(m))`) or an explicit
+// //coflowlint:allow detrange -- <reason> suppression.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flag map iteration that writes state in determinism-critical packages",
+	Run:  runDetrange,
+}
+
+func runDetrange(pass *Pass) {
+	if !deterministicPkg(pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		// Walk with enough context to find the statements that follow
+		// each range loop inside its enclosing block.
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := blockStmts(n)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkMapRange(pass, rng, block[i+1:])
+			}
+			return true
+		})
+		// Range statements that are not directly inside a block (e.g.
+		// `for { for range m {} }` bodies are blocks, so this only
+		// misses exotic positions) still get the write check, with no
+		// collect-then-sort exemption possible.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if rng, ok := n.(*ast.RangeStmt); ok && !insideBlock(file, rng) {
+				checkMapRange(pass, rng, nil)
+			}
+			return true
+		})
+	}
+}
+
+// blockStmts returns the statement list of block-like nodes.
+func blockStmts(n ast.Node) ([]ast.Stmt, bool) {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List, true
+	case *ast.CaseClause:
+		return b.Body, true
+	case *ast.CommClause:
+		return b.Body, true
+	}
+	return nil, false
+}
+
+// insideBlock reports whether the range statement appears directly in
+// some block's statement list.
+func insideBlock(file *ast.File, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if stmts, ok := blockStmts(n); ok {
+			for _, s := range stmts {
+				if s == rng {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, after []ast.Stmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	writes := outerWrites(pass, rng)
+	if len(writes) == 0 {
+		return
+	}
+	if collectThenSort(pass, rng, writes, after) {
+		return
+	}
+	pass.Reportf(rng.For,
+		"map iteration writes state (%s) in determinism-critical package %s; iterate sorted keys, or append to a slice and sort it",
+		writes[0].obj.Name(), pathBase(pass.PkgPath))
+}
+
+// outerWrite is one assignment inside the loop body to a variable
+// declared outside it.
+type outerWrite struct {
+	obj        *types.Var
+	appendOnly bool // the write is `x = append(x, ...)` with slice x
+}
+
+// outerWrites finds writes inside the loop body whose target variable
+// is declared outside the range statement. Closures inside the body
+// are walked too: if the body hands work to a func literal the writes
+// still happen under map order.
+func outerWrites(pass *Pass, rng *ast.RangeStmt) []outerWrite {
+	var out []outerWrite
+	record := func(e ast.Expr, appendOnly bool) {
+		id := rootIdent(e)
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj, _ := pass.Info.ObjectOf(id).(*types.Var)
+		if obj == nil {
+			return
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			return // declared by the loop (key, value, or body local)
+		}
+		out = append(out, outerWrite{obj: obj, appendOnly: appendOnly})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if s.Tok == token.DEFINE {
+					continue // new declarations are loop-local
+				}
+				record(lhs, isSelfAppend(pass, s, i))
+			}
+		case *ast.IncDecStmt:
+			record(s.X, false)
+		case *ast.SendStmt:
+			record(s.Chan, false)
+		}
+		return true
+	})
+	return out
+}
+
+// isSelfAppend reports whether assignment i is `x = append(x, ...)`.
+func isSelfAppend(pass *Pass, s *ast.AssignStmt, i int) bool {
+	if len(s.Lhs) != len(s.Rhs) {
+		return false
+	}
+	lhs, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.Info.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && arg.Name == lhs.Name
+}
+
+// sortFuncs are the functions recognized as establishing a
+// deterministic order over a collected slice.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// collectThenSort reports whether every outer write is an append to a
+// slice and every such slice is sorted by a statement following the
+// loop in the same block.
+func collectThenSort(pass *Pass, rng *ast.RangeStmt, writes []outerWrite, after []ast.Stmt) bool {
+	targets := map[*types.Var]bool{}
+	for _, w := range writes {
+		if !w.appendOnly {
+			return false
+		}
+		targets[w.obj] = true
+	}
+	for _, stmt := range after {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !sortFuncs[pathBase(fn.Pkg().Path())+"."+fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id := rootIdent(arg); id != nil {
+					if v, _ := pass.Info.ObjectOf(id).(*types.Var); v != nil {
+						delete(targets, v)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return len(targets) == 0
+}
+
+// rootIdent unwraps index, selector, star, and paren expressions to
+// the base identifier, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Globalrand bans the process-global math/rand stream and wall-clock
+// seeding, module-wide. Every random draw in the repository must come
+// from a *rand.Rand constructed from a spec-declared seed, so a run is
+// reproducible from its spec file alone. The global functions
+// (rand.Intn, rand.Float64, ...) share one auto-seeded source that any
+// imported package can advance, and time-seeded sources differ every
+// run by construction.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "ban global math/rand draws and wall-clock-seeded sources",
+	Run:  runGlobalrand,
+}
+
+// randConstructors are the math/rand functions that build explicit
+// generators rather than drawing from the global stream. Everything
+// else at package level is a global draw.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runGlobalrand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+				return true
+			}
+			// Methods on *rand.Rand / Source carry a receiver and are
+			// fine; only package-level functions are in scope.
+			if fn.Signature().Recv() != nil {
+				return true
+			}
+			if !randConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global source; construct a *rand.Rand from the spec seed and thread it",
+					fn.Name())
+				return true
+			}
+			if seededByClock(pass, call) {
+				pass.Reportf(call.Pos(),
+					"rand.%s seeded from the wall clock; seeds must come from the spec so runs are reproducible",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// seededByClock reports whether any argument expression (transitively)
+// calls time.Now — the classic rand.New(rand.NewSource(time.Now().
+// UnixNano())) anti-pattern.
+func seededByClock(pass *Pass, call *ast.CallExpr) bool {
+	clock := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, inner)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				clock = true
+			}
+			return !clock
+		})
+	}
+	return clock
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Obslabels checks every series name handed to the obs registry
+// (obs.Metrics Counter / Gauge / Timing, and Registry equivalents).
+// A series name must be a compile-time string so the metric namespace
+// is enumerable from the source, and its label set must be well
+// formed Prometheus style: `name{key="value",key2="value2"}`. Dynamic
+// content (scheduler names, port ids) is welcome — but only spliced
+// into label *values*, never into the metric name or label keys, so
+// concatenations are accepted exactly when every non-literal operand
+// sits strictly inside the quotes of a label value.
+var Obslabels = &Analyzer{
+	Name: "obslabels",
+	Doc:  "obs series names must be literal with well-formed label sets",
+	Run:  runObslabels,
+}
+
+// obsSeriesFuncs are the obs entry points whose first argument is a
+// series name.
+var obsSeriesFuncs = map[string]bool{
+	"Counter": true,
+	"Gauge":   true,
+	"Timing":  true,
+}
+
+func runObslabels(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || pathBase(fn.Pkg().Path()) != "obs" {
+				return true
+			}
+			if !obsSeriesFuncs[fn.Name()] || len(call.Args) == 0 {
+				return true
+			}
+			checkSeriesArg(pass, fn.Name(), call.Args[0])
+			return true
+		})
+	}
+}
+
+// checkSeriesArg validates one series-name argument expression.
+func checkSeriesArg(pass *Pass, fname string, arg ast.Expr) {
+	series, ok := flattenSeries(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(),
+			"obs.%s series name is not a string literal (dynamic parts are only allowed inside label-value quotes)", fname)
+		return
+	}
+	if err := checkSeriesSyntax(series); err != "" {
+		pass.Reportf(arg.Pos(), "obs.%s series %q: %s", fname, series, err)
+	}
+}
+
+// flattenSeries resolves the argument to the series string with every
+// dynamic operand replaced by the placeholder "\x00". It accepts
+// string literals, named string constants, and + concatenations;
+// anything else makes the whole expression dynamic. The placeholder
+// never appears in source text, so checkSeriesSyntax can tell exactly
+// where the dynamic pieces landed.
+func flattenSeries(pass *Pass, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if x.Kind != token.STRING {
+			return "", false
+		}
+		if tv, ok := pass.Info.Types[x]; ok && tv.Value != nil {
+			return constStringValue(tv.Value.ExactString()), true
+		}
+		return "", false
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD {
+			return "", false
+		}
+		l, lok := flattenSeries(pass, x.X)
+		r, rok := flattenSeries(pass, x.Y)
+		if !lok || !rok {
+			// One side is dynamic: keep flattening with a placeholder so
+			// `"a{b=\"" + v + "\"}"` still validates.
+			if !lok {
+				l = dynamicMark
+			}
+			if !rok {
+				r = dynamicMark
+			}
+		}
+		return l + r, true
+	default:
+		// Named constants and typed conversions of constants.
+		if tv, ok := pass.Info.Types[ast.Unparen(e)]; ok && tv.Value != nil {
+			return constStringValue(tv.Value.ExactString()), true
+		}
+		return "", false
+	}
+}
+
+const dynamicMark = "\x00"
+
+// constStringValue strips the quotes from go/constant's ExactString
+// rendering of a string value.
+func constStringValue(s string) string {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '`') {
+		s = s[1 : len(s)-1]
+	}
+	// ExactString escapes like a Go literal; the only escapes the obs
+	// namespace uses are \" inside label values.
+	return strings.ReplaceAll(s, `\"`, `"`)
+}
+
+// checkSeriesSyntax validates `name` or `name{k="v",k2="v2"}` with
+// dynamicMark allowed only inside the quotes of a label value. It
+// returns "" when valid, else a human-readable problem.
+func checkSeriesSyntax(s string) string {
+	name, rest, hasLabels := strings.Cut(s, "{")
+	if !validMetricName(name) {
+		return "metric name must match [a-zA-Z_][a-zA-Z0-9_]*"
+	}
+	if !hasLabels {
+		if strings.Contains(s, dynamicMark) {
+			return "dynamic content outside label-value quotes"
+		}
+		return ""
+	}
+	body, ok := strings.CutSuffix(rest, "}")
+	if !ok || strings.Contains(body, "{") || strings.Contains(body, "}") {
+		return "unbalanced label braces"
+	}
+	if body == "" {
+		return "empty label set; drop the braces"
+	}
+	for _, pair := range splitLabelPairs(body) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return "label without '=': " + strings.ReplaceAll(pair, dynamicMark, "<dyn>")
+		}
+		if !validMetricName(k) {
+			return "label key must match [a-zA-Z_][a-zA-Z0-9_]*"
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "label value must be double-quoted"
+		}
+	}
+	return ""
+}
+
+// splitLabelPairs splits on commas that are outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, body[start:])
+}
+
+// validMetricName checks [a-zA-Z_][a-zA-Z0-9_]* with no dynamic marks.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import "sort"
+
+// RunPackage runs the analyzers over one loaded package and returns
+// the findings after suppression filtering (including findings for the
+// malformed suppressions themselves).
+func RunPackage(lp *LoadedPackage, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			PkgPath:  lp.PkgPath,
+			Fset:     lp.Fset,
+			Files:    lp.Files,
+			Pkg:      lp.Pkg,
+			Info:     lp.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			raw = append(raw, Finding{
+				Analyzer: a.Name,
+				Pos:      lp.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		a.Run(pass)
+	}
+	var sups []suppression
+	for _, f := range lp.Files {
+		sups = append(sups, parseSuppressions(lp.Fset, f)...)
+	}
+	return sortFindings(filterFindings(raw, sups))
+}
+
+// Run loads every package matched by the patterns and runs the full
+// suite (or the given subset) over each. It is the library behind
+// cmd/coflowlint.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	if len(analyzers) == 0 {
+		analyzers = All()
+	}
+	pkgs, err := LoadPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, lp := range pkgs {
+		out = append(out, RunPackage(lp, analyzers)...)
+	}
+	return sortFindings(out), nil
+}
+
+func sortFindings(fs []Finding) []Finding {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return fs
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import "go/ast"
+
+// Stablesort bans unstable sorts in determinism-critical packages.
+// sort.Slice, sort.Sort, and slices.SortFunc may reorder equal
+// elements differently across runs (pdqsort is not stable), so any
+// sort whose comparator does not totally order its input can flip a
+// schedule or a golden file. The stable variants cost one allocation
+// and remove the hazard categorically, which is cheaper than proving
+// comparator totality at every call site.
+var Stablesort = &Analyzer{
+	Name: "stablesort",
+	Doc:  "ban unstable sorts in determinism-critical packages",
+	Run:  runStablesort,
+}
+
+// unstableSorts maps banned sort entry points to their suggested
+// replacement.
+var unstableSorts = map[string]string{
+	"sort.Slice":      "sort.SliceStable or slices.SortStableFunc",
+	"sort.Sort":       "sort.Stable",
+	"slices.SortFunc": "slices.SortStableFunc",
+}
+
+func runStablesort(pass *Pass) {
+	if !deterministicPkg(pass.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			name := pathBase(fn.Pkg().Path()) + "." + fn.Name()
+			if repl, banned := unstableSorts[name]; banned {
+				pass.Reportf(call.Pos(),
+					"%s is not stable; use %s in determinism-critical package %s",
+					name, repl, pathBase(pass.PkgPath))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //coflowlint:allow directive.
+type suppression struct {
+	pos      token.Position
+	analyzer string // "" when malformed
+	reason   string // "" when missing
+}
+
+// wellFormed reports whether the directive names an analyzer and
+// carries a " -- reason" justification.
+func (s suppression) wellFormed() bool { return s.analyzer != "" && s.reason != "" }
+
+const allowPrefix = "coflowlint:allow"
+
+// parseSuppressions extracts every //coflowlint:allow directive from
+// the file, keyed by the line it suppresses: an inline directive
+// suppresses its own line, a directive on its own comment line
+// suppresses the line below. Both are recorded under the directive's
+// own line here; the filter checks both offsets.
+func parseSuppressions(fset *token.FileSet, file *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // block comments are never directives
+			}
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			rest := text[len(allowPrefix):]
+			s := suppression{pos: fset.Position(c.Pos())}
+			name, reason, hasReason := strings.Cut(rest, "--")
+			s.analyzer = strings.TrimSpace(name)
+			if hasReason {
+				s.reason = strings.TrimSpace(reason)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// filterFindings drops findings covered by a well-formed suppression
+// for their analyzer on the same line or the line above, and appends
+// one "suppress" finding per malformed directive. Used directives are
+// consumed so one //coflowlint:allow cannot blanket a whole file.
+func filterFindings(findings []Finding, sups []suppression) []Finding {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	avail := make(map[key]int)
+	for _, s := range sups {
+		if s.wellFormed() {
+			avail[key{s.pos.Filename, s.pos.Line, s.analyzer}]++
+		}
+	}
+	var out []Finding
+	for _, f := range findings {
+		same := key{f.Pos.Filename, f.Pos.Line, f.Analyzer}
+		above := key{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}
+		if avail[same] > 0 {
+			avail[same]--
+			continue
+		}
+		if avail[above] > 0 {
+			avail[above]--
+			continue
+		}
+		out = append(out, f)
+	}
+	for _, s := range sups {
+		if !s.wellFormed() {
+			out = append(out, Finding{
+				Analyzer: "suppress",
+				Pos:      s.pos,
+				Message:  "malformed suppression: want //coflowlint:allow <analyzer> -- <reason>",
+			})
+		}
+	}
+	return out
+}

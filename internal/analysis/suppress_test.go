@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []suppression) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, parseSuppressions(fset, f)
+}
+
+func TestParseSuppressions(t *testing.T) {
+	_, sups := parseSrc(t, `package x
+
+//coflowlint:allow detrange -- order cannot matter here
+var a int
+
+//coflowlint:allow detrange
+var b int
+
+// an ordinary comment mentioning coflowlint is not a directive
+var c int
+`)
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2: %+v", len(sups), sups)
+	}
+	if !sups[0].wellFormed() || sups[0].analyzer != "detrange" || sups[0].reason != "order cannot matter here" {
+		t.Errorf("first directive parsed as %+v", sups[0])
+	}
+	if sups[1].wellFormed() {
+		t.Errorf("bare directive parsed as well-formed: %+v", sups[1])
+	}
+}
+
+func TestFilterFindingsConsumesOnce(t *testing.T) {
+	pos := func(line int) token.Position { return token.Position{Filename: "x.go", Line: line} }
+	findings := []Finding{
+		{Analyzer: "detrange", Pos: pos(10), Message: "first"},
+		{Analyzer: "detrange", Pos: pos(11), Message: "second"},
+		{Analyzer: "walltime", Pos: pos(10), Message: "other analyzer"},
+	}
+	sups := []suppression{
+		{pos: pos(9), analyzer: "detrange", reason: "justified"},
+	}
+	out := filterFindings(findings, sups)
+	// The directive on line 9 suppresses exactly the detrange finding
+	// on line 10; the line-11 finding and the walltime finding stay.
+	if len(out) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(out), out)
+	}
+	if out[0].Message != "second" || out[1].Analyzer != "walltime" {
+		t.Errorf("wrong findings survived: %v", out)
+	}
+}
+
+func TestFilterFindingsMalformed(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 5}
+	out := filterFindings(nil, []suppression{{pos: pos, analyzer: "detrange"}})
+	if len(out) != 1 || out[0].Analyzer != "suppress" {
+		t.Fatalf("bare directive did not produce a suppress finding: %v", out)
+	}
+}

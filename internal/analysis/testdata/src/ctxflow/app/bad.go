@@ -1,0 +1,30 @@
+package app
+
+import (
+	"context"
+
+	"ctxflow/internal/pool"
+	"ctxflow/simplex"
+)
+
+// NoCtx blocks on the pool with no way for callers to cancel.
+func NoCtx(n int) {
+	pool.Map(context.Background(), n, func(int) {}) // want `exported NoCtx calls pool\.Map but has no context\.Context parameter`
+}
+
+// NoCtxSolve calls the solver without a ctx parameter.
+func NoCtxSolve(p *simplex.Problem) error {
+	_, err := simplex.Solve(context.TODO(), p) // want `exported NoCtxSolve calls simplex\.Solve but has no context\.Context parameter`
+	return err
+}
+
+// FreshCtx takes a ctx but severs it with a fresh root.
+func FreshCtx(ctx context.Context, p *simplex.Problem) error {
+	_, err := simplex.Solve(context.Background(), p) // want `exported FreshCtx passes a fresh context to simplex\.Solve`
+	return err
+}
+
+// FreshPool severs the chain on the pool path.
+func FreshPool(ctx context.Context, n int) {
+	pool.Stream(context.TODO(), n, func(i int) int { return i }) // want `exported FreshPool passes a fresh context to pool\.Stream`
+}

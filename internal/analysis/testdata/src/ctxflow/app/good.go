@@ -1,0 +1,31 @@
+package app
+
+import (
+	"context"
+
+	"ctxflow/internal/pool"
+	"ctxflow/simplex"
+)
+
+// Forward is the contract: accept ctx, hand it on.
+func Forward(ctx context.Context, p *simplex.Problem) error {
+	_, err := simplex.Solve(ctx, p)
+	return err
+}
+
+// FanOut forwards ctx to the pool.
+func FanOut(ctx context.Context, n int) {
+	pool.Map(ctx, n, func(int) {})
+}
+
+// unexportedHelper is below the contract line; its callers own ctx
+// discipline.
+func unexportedHelper(p *simplex.Problem) {
+	simplex.Solve(context.TODO(), p)
+}
+
+// Deferred returns a closure; the closure's ctx discipline belongs to
+// whoever invokes it, so the FuncLit is exempt here.
+func Deferred(p *simplex.Problem) func() {
+	return func() { simplex.Solve(context.TODO(), p) }
+}

@@ -1,0 +1,8 @@
+// Package pool mirrors the real fan-out dispatcher's surface.
+package pool
+
+import "context"
+
+func Map(ctx context.Context, n int, f func(int)) {}
+
+func Stream(ctx context.Context, n int, f func(int) int) []int { return nil }

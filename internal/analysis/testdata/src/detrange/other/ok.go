@@ -1,0 +1,11 @@
+// Package other is not determinism-critical, so detrange stays quiet
+// even for order-imprinting loops.
+package other
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

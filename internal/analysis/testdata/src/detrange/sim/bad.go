@@ -1,0 +1,46 @@
+package sim
+
+// Keys collects map keys but never sorts them: the result order is
+// randomized by the runtime.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration writes state \(out\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Fill imprints map order on another map's insertion sequence.
+func Fill(src map[string]int) map[string]int {
+	dst := make(map[string]int)
+	for k, v := range src { // want `map iteration writes state \(dst\)`
+		dst[k] = v
+	}
+	return dst
+}
+
+// Count increments an outer counter; flagged even though addition
+// commutes — that exemption is what suppressions are for.
+func Count(m map[string]bool) int {
+	n := 0
+	for range m { // want `map iteration writes state \(n\)`
+		n++
+	}
+	return n
+}
+
+// Feed sends under map order.
+func Feed(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration writes state \(ch\)`
+		ch <- k
+	}
+}
+
+// Closure writes inside the body still happen under map order.
+func Indirect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration writes state \(out\)`
+		func() { out = append(out, k) }()
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// SortedKeys is the blessed collect-then-sort idiom: every outer
+// write is an append, and the slice is sorted before use.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StableKeys uses the generic stable sort instead.
+func StableKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.SortStableFunc(out, func(a, b string) int {
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// PreSorted ranges over an already-sorted slice, not the map.
+func PreSorted(m map[string]int) []int {
+	var vals []int
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		vals = append(vals, m[k])
+	}
+	return vals
+}
+
+// ReadOnly writes nothing outside the loop.
+func ReadOnly(m map[string]int) bool {
+	for _, v := range m {
+		local := v * 2
+		if local > 100 {
+			return true
+		}
+	}
+	return false
+}

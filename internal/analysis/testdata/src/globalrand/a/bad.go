@@ -1,0 +1,18 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+}
+
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global source`
+}
+
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.New seeded from the wall clock` `rand\.NewSource seeded from the wall clock`
+}

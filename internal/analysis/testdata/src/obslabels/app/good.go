@@ -1,0 +1,14 @@
+package app
+
+import "obslabels/obs"
+
+const series = `lp_iterations{phase="two"}`
+
+func Ok(m *obs.Metrics, scheduler string) {
+	m.Counter("sim_events")
+	m.Timing(`engine_schedule{scheduler="varys"}`)
+	obs.Gauge(`pool_depth{worker="w0",zone="a"}`, 1)
+	// Dynamic content is fine strictly inside label-value quotes.
+	m.Timing(`engine_schedule{scheduler="` + scheduler + `"}`)
+	m.Counter(series)
+}

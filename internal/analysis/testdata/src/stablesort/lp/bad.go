@@ -1,0 +1,18 @@
+package lp
+
+import (
+	"slices"
+	"sort"
+)
+
+func BySlice(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice is not stable; use sort\.SliceStable`
+}
+
+func ByInterface(d sort.Interface) {
+	sort.Sort(d) // want `sort\.Sort is not stable; use sort\.Stable`
+}
+
+func ByFunc(xs []int) {
+	slices.SortFunc(xs, func(a, b int) int { return a - b }) // want `slices\.SortFunc is not stable; use slices\.SortStableFunc`
+}

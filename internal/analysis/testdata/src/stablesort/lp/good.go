@@ -1,0 +1,14 @@
+package lp
+
+import (
+	"slices"
+	"sort"
+)
+
+func Stable(xs []int, d sort.Interface) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	sort.Stable(d)
+	slices.SortStableFunc(xs, func(a, b int) int { return a - b })
+	slices.Sort(xs) // ordered elements: equal values are indistinguishable
+	sort.Ints(xs)
+}

@@ -1,0 +1,9 @@
+// Package other is outside the determinism-critical set; unstable
+// sorts are its own business.
+package other
+
+import "sort"
+
+func BySlice(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

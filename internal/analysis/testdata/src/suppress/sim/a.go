@@ -1,0 +1,35 @@
+package sim
+
+import "sort"
+
+// Suppressed by a directive on the line above.
+func Above(xs []int) {
+	//coflowlint:allow stablesort -- comparator is a total order over unique keys
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Suppressed by an inline directive.
+func Inline(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) //coflowlint:allow stablesort -- inline justification
+}
+
+// One directive silences exactly one diagnostic: the second call on
+// its own line still fires.
+func Once(xs []int) {
+	//coflowlint:allow stablesort -- covers only the next line
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice is not stable`
+}
+
+// A bare allow (no reason) is itself a finding, and suppresses
+// nothing.
+func Bare(xs []int) {
+	//coflowlint:allow stablesort want `malformed suppression`
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice is not stable`
+}
+
+// An allow with a reason but no analyzer name is also malformed.
+func Nameless(xs []int) {
+	//coflowlint:allow want `malformed suppression`
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice is not stable`
+}

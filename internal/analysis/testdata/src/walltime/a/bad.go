@@ -1,0 +1,15 @@
+package a
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock outside obs/bench/cmd`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock outside obs/bench/cmd`
+}
+
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time\.Until reads the wall clock outside obs/bench/cmd`
+}

@@ -1,0 +1,12 @@
+package a
+
+import "time"
+
+// Pure time arithmetic never reads the clock.
+func Add(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+func Span(d time.Duration) float64 {
+	return d.Seconds()
+}

@@ -1,0 +1,6 @@
+// Binaries under cmd/ may stamp logs and enforce flag timeouts.
+package clock
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,47 @@
+package analysis
+
+import "go/ast"
+
+// Walltime bans reading the wall clock outside the packages that are
+// allowed to observe it. Simulation results must be a pure function of
+// the spec: virtual time comes from the event loop, never from
+// time.Now. The clock is confined to package obs (which hides it
+// behind Timing/Stopwatch), package bench (which measures real solver
+// latency by design), and cmd/* binaries (flag timeouts, log stamps).
+// time.Since and time.Until are the same read in disguise.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "ban time.Now/time.Since/time.Until outside obs, bench, and cmd/*",
+	Run:  runWalltime,
+}
+
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWalltime(pass *Pass) {
+	base := pathBase(pass.PkgPath)
+	if base == "obs" || base == "bench" || hasPathSegment(pass.PkgPath, "cmd") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if clockFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock outside obs/bench/cmd; route timing through obs.Timing or pass durations in",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -115,7 +115,7 @@ func TestGreedyWSJF(t *testing.T) {
 
 func TestJahanjouOnFigure2(t *testing.T) {
 	in := figure2SP()
-	res, err := Jahanjou(in, 8, JahanjouEpsilon, 0.5)
+	res, err := Jahanjou(context.Background(), in, 8, JahanjouEpsilon, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,10 +137,10 @@ func TestJahanjouOnFigure2(t *testing.T) {
 
 func TestJahanjouAlphaValidation(t *testing.T) {
 	in := figure2SP()
-	if _, err := Jahanjou(in, 8, JahanjouEpsilon, 0); err == nil {
+	if _, err := Jahanjou(context.Background(), in, 8, JahanjouEpsilon, 0); err == nil {
 		t.Fatal("alpha=0 accepted")
 	}
-	if _, err := Jahanjou(in, 8, JahanjouEpsilon, 1.5); err == nil {
+	if _, err := Jahanjou(context.Background(), in, 8, JahanjouEpsilon, 1.5); err == nil {
 		t.Fatal("alpha>1 accepted")
 	}
 }
@@ -168,7 +168,7 @@ func TestOurHeuristicBeatsOrMatchesJahanjou(t *testing.T) {
 		t.Fatal(err)
 	}
 	horizon := in.HorizonUpperBound(coflow.SinglePath) + 2
-	jr, err := Jahanjou(in, horizon, JahanjouEpsilon, 0.5)
+	jr, err := Jahanjou(context.Background(), in, horizon, JahanjouEpsilon, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestTerraStandaloneFigure1(t *testing.T) {
 			{Source: g.MustNode("HK"), Sink: g.MustNode("FL"), Demand: 12},
 		},
 	}}}
-	res, err := Terra(in)
+	res, err := Terra(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestTerraStandaloneFigure1(t *testing.T) {
 
 func TestTerraFigure2(t *testing.T) {
 	in := figure2FP()
-	res, err := Terra(in)
+	res, err := Terra(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestTerraFigure2(t *testing.T) {
 func TestTerraRespectsReleases(t *testing.T) {
 	in := figure2FP()
 	in.Coflows[0].Release = 10
-	res, err := Terra(in)
+	res, err := Terra(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestTerraUnroutableCoflow(t *testing.T) {
 	in := &coflow.Instance{Graph: g, Coflows: []coflow.Coflow{{
 		ID: 0, Weight: 1, Flows: []coflow.Flow{{Source: x0, Sink: y1, Demand: 1}},
 	}}}
-	if _, err := Terra(in); err == nil {
+	if _, err := Terra(context.Background(), in); err == nil {
 		t.Fatal("expected error for unroutable coflow")
 	}
 }

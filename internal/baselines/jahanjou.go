@@ -17,6 +17,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,10 +47,10 @@ const JahanjouEpsilon = 0.5436
 // the LP-sized horizon underestimates path contention). Other errors
 // surface immediately. This is the single retry policy shared by the
 // engine wrapper and the figure harnesses.
-func JahanjouAdaptive(in *coflow.Instance, horizon float64, eps, alpha float64) (*JahanjouResult, error) {
-	jr, err := Jahanjou(in, horizon, eps, alpha)
+func JahanjouAdaptive(ctx context.Context, in *coflow.Instance, horizon float64, eps, alpha float64) (*JahanjouResult, error) {
+	jr, err := Jahanjou(ctx, in, horizon, eps, alpha)
 	for grow := 2.0; err != nil && retryableHorizon(err) && grow <= 8; grow *= 2 {
-		jr, err = Jahanjou(in, grow*horizon, eps, alpha)
+		jr, err = Jahanjou(ctx, in, grow*horizon, eps, alpha)
 	}
 	return jr, err
 }
@@ -84,7 +85,7 @@ type JahanjouResult struct {
 // schedule coflows by α-point priority with greedy per-slot rate
 // allocation. alpha is the completion fraction defining the α-point
 // (1/2 is the conventional choice); horizon is in slot units.
-func Jahanjou(inst *coflow.Instance, horizon float64, eps, alpha float64) (*JahanjouResult, error) {
+func Jahanjou(ctx context.Context, inst *coflow.Instance, horizon float64, eps, alpha float64) (*JahanjouResult, error) {
 	if alpha <= 0 || alpha > 1 {
 		return nil, fmt.Errorf("baselines: alpha %g outside (0,1]", alpha)
 	}
@@ -93,7 +94,7 @@ func Jahanjou(inst *coflow.Instance, horizon float64, eps, alpha float64) (*Jaha
 	if err != nil {
 		return nil, err
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(ctx, simplex.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -42,7 +43,7 @@ type TerraResult struct {
 // coflow's remaining demands on the given residual capacities: every
 // flow i ships at rate μ·rem_i simultaneously; returns μ and per-flow
 // per-edge rates. μ = 0 means no capacity is left.
-func concurrentFlowRate(g *graph.Graph, flows []coflow.Flow, rem []float64, residual []float64) (float64, [][]float64, error) {
+func concurrentFlowRate(ctx context.Context, g *graph.Graph, flows []coflow.Flow, rem []float64, residual []float64) (float64, [][]float64, error) {
 	ne := g.NumEdges()
 	m := lp.NewModel("concurrent-flow")
 	m.SetMaximize(true)
@@ -99,7 +100,7 @@ func concurrentFlowRate(g *graph.Graph, flows []coflow.Flow, rem []float64, resi
 	if !active {
 		return 0, nil, nil
 	}
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(ctx, simplex.Options{})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -134,7 +135,7 @@ func netSourceRate(g *graph.Graph, fl coflow.Flow, rates []float64) float64 {
 
 // Terra runs the baseline. Time is continuous; demands and capacities
 // come straight from the instance.
-func Terra(inst *coflow.Instance) (*TerraResult, error) {
+func Terra(ctx context.Context, inst *coflow.Instance) (*TerraResult, error) {
 	if err := inst.Validate(coflow.FreePath); err != nil {
 		return nil, err
 	}
@@ -156,7 +157,7 @@ func Terra(inst *coflow.Instance) (*TerraResult, error) {
 		for i, fl := range c.Flows {
 			rem[i] = fl.Demand
 		}
-		mu, _, err := concurrentFlowRate(g, c.Flows, rem, fullCaps)
+		mu, _, err := concurrentFlowRate(ctx, g, c.Flows, rem, fullCaps)
 		res.LPSolves++
 		if err != nil {
 			return nil, err
@@ -229,7 +230,7 @@ func Terra(inst *coflow.Instance) (*TerraResult, error) {
 		}
 		var allocs []alloc
 		for _, j := range cand {
-			mu, rates, err := concurrentFlowRate(g, inst.Coflows[j].Flows, remaining[j], residual)
+			mu, rates, err := concurrentFlowRate(ctx, g, inst.Coflows[j].Flows, remaining[j], residual)
 			res.LPSolves++
 			if err != nil {
 				return nil, err

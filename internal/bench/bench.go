@@ -398,7 +398,7 @@ func schedulerResults(ctx context.Context, cfg Config) ([]Result, error) {
 			opt := core.Options{Grid: core.DefaultGrid(lpIn, coflow.SinglePath, 24)}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SolveLP(lpIn, coflow.SinglePath, opt); err != nil {
+				if _, err := core.SolveLP(ctx, lpIn, coflow.SinglePath, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -408,7 +408,7 @@ func schedulerResults(ctx context.Context, cfg Config) ([]Result, error) {
 		// basis — the epoch re-plan pattern the warm start exists for.
 		{"lp/warm-start/n=8", func(b *testing.B) {
 			opt := core.Options{Grid: core.DefaultGrid(lpIn, coflow.SinglePath, 24)}
-			base, err := core.SolveLP(lpIn, coflow.SinglePath, opt)
+			base, err := core.SolveLP(ctx, lpIn, coflow.SinglePath, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -431,7 +431,7 @@ func schedulerResults(ctx context.Context, cfg Config) ([]Result, error) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SolveLP(&pert, coflow.SinglePath, wopt); err != nil {
+				if _, err := core.SolveLP(ctx, &pert, coflow.SinglePath, wopt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -444,7 +444,7 @@ func schedulerResults(ctx context.Context, cfg Config) ([]Result, error) {
 			p := degenerateBenchLP(cfg.Seed)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sol, err := simplex.Solve(p, simplex.Options{})
+				sol, err := simplex.Solve(ctx, p, simplex.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -89,7 +89,7 @@ func evaluate(s *schedule.Schedule, lambda float64, compact bool) (*Evaluated, e
 }
 
 // SolveLP builds and solves the relaxation for the given model.
-func SolveLP(inst *coflow.Instance, mode coflow.Model, opt Options) (*model.Solution, error) {
+func SolveLP(ctx context.Context, inst *coflow.Instance, mode coflow.Model, opt Options) (*model.Solution, error) {
 	var l *model.LP
 	var err error
 	switch mode {
@@ -109,7 +109,7 @@ func SolveLP(inst *coflow.Instance, mode coflow.Model, opt Options) (*model.Solu
 	if sopt.Obs == nil {
 		sopt.Obs = opt.Obs
 	}
-	return l.SolveWarm(sopt, opt.WarmBasis)
+	return l.SolveWarm(ctx, sopt, opt.WarmBasis)
 }
 
 // Heuristic converts the LP solution directly into a schedule — the
@@ -219,7 +219,7 @@ type Result struct {
 // heuristic, and (on uniform grids) run opt.Trials randomized Stretch
 // roundings on the worker pool.
 func Run(ctx context.Context, inst *coflow.Instance, mode coflow.Model, opt Options) (*Result, error) {
-	sol, err := SolveLP(inst, mode, opt)
+	sol, err := SolveLP(ctx, inst, mode, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -139,7 +139,7 @@ func TestHeuristicDominatesLowerBound(t *testing.T) {
 func TestStretchTrialsValidation(t *testing.T) {
 	in := figure2Instance(true)
 	opt := Options{Grid: timegrid.Uniform(6)}
-	sol, err := SolveLP(in, coflow.SinglePath, opt)
+	sol, err := SolveLP(context.Background(), in, coflow.SinglePath, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestStretchTrialsValidation(t *testing.T) {
 func TestRunUnknownModel(t *testing.T) {
 	in := figure2Instance(true)
 	opt := Options{Grid: timegrid.Uniform(6)}
-	if _, err := SolveLP(in, coflow.Model(9), opt); err == nil {
+	if _, err := SolveLP(context.Background(), in, coflow.Model(9), opt); err == nil {
 		t.Fatal("unknown model accepted")
 	}
 }
@@ -174,7 +174,7 @@ func TestGeometricGridHeuristicOnly(t *testing.T) {
 func TestCompactionAblation(t *testing.T) {
 	in := figure2Instance(true)
 	grid := timegrid.Uniform(8)
-	solved, err := SolveLP(in, coflow.SinglePath, Options{Grid: grid})
+	solved, err := SolveLP(context.Background(), in, coflow.SinglePath, Options{Grid: grid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestTheorem44EmpiricalTwoApprox(t *testing.T) {
 	// an instance with nontrivial congestion.
 	in := figure2Instance(true)
 	opt := Options{Grid: timegrid.Uniform(8), Simplex: simplex.Options{}, Seed: 5}
-	sol, err := SolveLP(in, coflow.SinglePath, opt)
+	sol, err := SolveLP(context.Background(), in, coflow.SinglePath, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestTheorem44EmpiricalTwoApprox(t *testing.T) {
 func TestStretchTrialsDeterministicAcrossWorkers(t *testing.T) {
 	in := figure2Instance(true)
 	base := Options{Grid: timegrid.Uniform(8), Seed: 99}
-	sol, err := SolveLP(in, coflow.SinglePath, base)
+	sol, err := SolveLP(context.Background(), in, coflow.SinglePath, base)
 	if err != nil {
 		t.Fatal(err)
 	}

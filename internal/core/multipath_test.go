@@ -52,7 +52,7 @@ func TestMultiPathStretchFeasibility(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := Options{Grid: timegrid.Uniform(8)}
-	sol, err := SolveLP(in, coflow.MultiPath, opt)
+	sol, err := SolveLP(context.Background(), in, coflow.MultiPath, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

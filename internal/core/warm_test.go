@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -37,7 +38,7 @@ func TestWarmBasisPerturbedInstance(t *testing.T) {
 	for trial := 0; trial < 3; trial++ {
 		in := warmTestInstance(t, 6, int64(10+trial))
 		opt := Options{Grid: DefaultGrid(in, coflow.SinglePath, 24)}
-		base, err := SolveLP(in, coflow.SinglePath, opt)
+		base, err := SolveLP(context.Background(), in, coflow.SinglePath, opt)
 		if err != nil {
 			t.Fatalf("trial %d: base solve: %v", trial, err)
 		}
@@ -56,13 +57,13 @@ func TestWarmBasisPerturbedInstance(t *testing.T) {
 			}
 		}
 
-		cold, err := SolveLP(&pert, coflow.SinglePath, opt)
+		cold, err := SolveLP(context.Background(), &pert, coflow.SinglePath, opt)
 		if err != nil {
 			t.Fatalf("trial %d: cold solve of perturbed instance: %v", trial, err)
 		}
 		wopt := opt
 		wopt.WarmBasis = base.Basis
-		warm, err := SolveLP(&pert, coflow.SinglePath, wopt)
+		warm, err := SolveLP(context.Background(), &pert, coflow.SinglePath, wopt)
 		if err != nil {
 			t.Fatalf("trial %d: warm solve of perturbed instance: %v", trial, err)
 		}
@@ -89,7 +90,7 @@ func TestWarmBasisPerturbedInstance(t *testing.T) {
 func TestWarmBasisResidualInstance(t *testing.T) {
 	in := warmTestInstance(t, 6, 3)
 	opt := Options{Grid: DefaultGrid(in, coflow.SinglePath, 24)}
-	base, err := SolveLP(in, coflow.SinglePath, opt)
+	base, err := SolveLP(context.Background(), in, coflow.SinglePath, opt)
 	if err != nil {
 		t.Fatalf("base solve: %v", err)
 	}
@@ -101,13 +102,13 @@ func TestWarmBasisResidualInstance(t *testing.T) {
 	res.Coflows = append([]coflow.Coflow(nil), in.Coflows[1:]...)
 	ropt := Options{Grid: DefaultGrid(&res, coflow.SinglePath, 24)}
 
-	cold, err := SolveLP(&res, coflow.SinglePath, ropt)
+	cold, err := SolveLP(context.Background(), &res, coflow.SinglePath, ropt)
 	if err != nil {
 		t.Fatalf("cold residual solve: %v", err)
 	}
 	wopt := ropt
 	wopt.WarmBasis = base.Basis
-	warm, err := SolveLP(&res, coflow.SinglePath, wopt)
+	warm, err := SolveLP(context.Background(), &res, coflow.SinglePath, wopt)
 	if err != nil {
 		t.Fatalf("warm residual solve: %v", err)
 	}
@@ -122,7 +123,7 @@ func TestWarmBasisResidualInstance(t *testing.T) {
 func TestWarmBasisSameInstanceFewerIterations(t *testing.T) {
 	in := warmTestInstance(t, 8, 6)
 	opt := Options{Grid: DefaultGrid(in, coflow.SinglePath, 24)}
-	cold, err := SolveLP(in, coflow.SinglePath, opt)
+	cold, err := SolveLP(context.Background(), in, coflow.SinglePath, opt)
 	if err != nil {
 		t.Fatalf("cold solve: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestWarmBasisSameInstanceFewerIterations(t *testing.T) {
 	}
 	wopt := opt
 	wopt.WarmBasis = cold.Basis
-	warm, err := SolveLP(in, coflow.SinglePath, wopt)
+	warm, err := SolveLP(context.Background(), in, coflow.SinglePath, wopt)
 	if err != nil {
 		t.Fatalf("warm solve: %v", err)
 	}

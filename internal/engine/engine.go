@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/coflow"
 	"repro/internal/core"
@@ -180,16 +179,12 @@ func Schedule(ctx context.Context, name string, inst *coflow.Instance, mode cofl
 		return nil, err
 	}
 	opt.Mode = mode
-	var timing *obs.Timing
-	var t0 time.Time
+	var sw obs.Stopwatch
 	if opt.Obs != nil {
-		timing = opt.Obs.Timing(`engine_schedule{scheduler="` + name + `"}`)
-		t0 = time.Now()
+		sw = opt.Obs.Timing(`engine_schedule{scheduler="` + name + `"}`).Start()
 	}
 	res, err := s.Schedule(ctx, inst, opt.Normalize())
-	if timing != nil {
-		timing.Observe(time.Since(t0))
-	}
+	sw.Stop()
 	if err != nil {
 		opt.Obs.Counter(`engine_schedule_errors_total{scheduler="` + name + `"}`).Inc()
 		return nil, fmt.Errorf("engine: %s: %w", name, err)

@@ -103,7 +103,7 @@ func (terraScheduler) Schedule(ctx context.Context, inst *coflow.Instance, opt O
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	tr, err := baselines.Terra(inst)
+	tr, err := baselines.Terra(ctx, inst)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ func (jahanjouScheduler) Schedule(ctx context.Context, inst *coflow.Instance, op
 		return nil, err
 	}
 	horizon := core.DefaultGrid(inst, opt.Mode, opt.MaxSlots).Horizon()
-	jr, err := baselines.JahanjouAdaptive(inst, horizon, baselines.JahanjouEpsilon, 0.5)
+	jr, err := baselines.JahanjouAdaptive(ctx, inst, horizon, baselines.JahanjouEpsilon, 0.5)
 	if err != nil {
 		return nil, err
 	}

@@ -410,7 +410,7 @@ func Figure8(ctx context.Context, c Config) (*FigureResult, error) {
 		if err != nil {
 			return Row{}, err
 		}
-		sol, err := l.Solve(simplex.Options{})
+		sol, err := l.Solve(ctx, simplex.Options{})
 		if err != nil {
 			return Row{}, fmt.Errorf("figure 8 ε=%g: %w", e, err)
 		}
@@ -519,7 +519,7 @@ func singlePath(ctx context.Context, c Config, topo, figure string) (*FigureResu
 			if err != nil {
 				return Row{}, err
 			}
-			solInt, err = lInt.Solve(simplex.Options{})
+			solInt, err = lInt.Solve(ctx, simplex.Options{})
 			if err != nil {
 				if core.RetryableLP(err) && h < 8*horizon {
 					continue
@@ -536,7 +536,7 @@ func singlePath(ctx context.Context, c Config, topo, figure string) (*FigureResu
 		// Jahanjou et al. with the ratio-optimizing ε; the adaptive
 		// wrapper grows the horizon when the interval LP or the
 		// priority fill runs out of room.
-		jr, err := baselines.JahanjouAdaptive(in, horizon, baselines.JahanjouEpsilon, 0.5)
+		jr, err := baselines.JahanjouAdaptive(ctx, in, horizon, baselines.JahanjouEpsilon, 0.5)
 		if err != nil {
 			return Row{}, fmt.Errorf("%s %v (jahanjou): %w", figure, kind, err)
 		}
@@ -605,7 +605,7 @@ func unweightedFree(ctx context.Context, c Config, topo, figure string) (*Figure
 		if err != nil {
 			return Row{}, fmt.Errorf("%s %v: %w", figure, kind, err)
 		}
-		tr, err := baselines.Terra(in)
+		tr, err := baselines.Terra(ctx, in)
 		if err != nil {
 			return Row{}, fmt.Errorf("%s %v (terra): %w", figure, kind, err)
 		}

@@ -186,7 +186,7 @@ func legacySinglePath(c Config, topo, figure string) (*FigureResult, error) {
 			if err != nil {
 				return Row{}, err
 			}
-			solInt, err = lInt.Solve(simplex.Options{})
+			solInt, err = lInt.Solve(context.Background(), simplex.Options{})
 			if err != nil {
 				if core.RetryableLP(err) && h < 8*horizon {
 					continue
@@ -200,7 +200,7 @@ func legacySinglePath(c Config, topo, figure string) (*FigureResult, error) {
 			return Row{}, err
 		}
 
-		jr, err := baselines.JahanjouAdaptive(in, horizon, baselines.JahanjouEpsilon, 0.5)
+		jr, err := baselines.JahanjouAdaptive(context.Background(), in, horizon, baselines.JahanjouEpsilon, 0.5)
 		if err != nil {
 			return Row{}, fmt.Errorf("%s %v (jahanjou): %w", figure, kind, err)
 		}

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"slices"
+	"strings"
+)
 
 // KShortestPaths returns up to k loopless s→t paths in non-decreasing
 // hop count using Yen's algorithm over BFS shortest paths. It powers
@@ -57,12 +60,13 @@ func (g *Graph) KShortestPaths(s, t NodeID, k int) [][]EdgeID {
 			break
 		}
 		// Take the shortest candidate (ties by lexicographic edge ids
-		// for determinism).
-		sort.Slice(candidates, func(a, b int) bool {
-			if len(candidates[a]) != len(candidates[b]) {
-				return len(candidates[a]) < len(candidates[b])
+		// for determinism; the key is unique per path, so the stable
+		// sort orders identically to the unstable one it replaced).
+		slices.SortStableFunc(candidates, func(a, b []EdgeID) int {
+			if len(a) != len(b) {
+				return len(a) - len(b)
 			}
-			return pathKey(candidates[a]) < pathKey(candidates[b])
+			return strings.Compare(pathKey(a), pathKey(b))
 		})
 		paths = append(paths, candidates[0])
 		candidates = candidates[1:]

@@ -55,7 +55,7 @@ func WriteLP(w io.Writer, m *Model) error {
 	}
 	for i := range m.conNames {
 		ts := rows[int32(i)]
-		sort.Slice(ts, func(a, b int) bool { return ts[a].v < ts[b].v })
+		sort.SliceStable(ts, func(a, b int) bool { return ts[a].v < ts[b].v })
 		fmt.Fprintf(bw, "%s:", m.conNames[i])
 		first := true
 		for _, t := range ts {

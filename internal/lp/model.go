@@ -10,6 +10,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -175,8 +176,8 @@ func (s *Solution) X() []float64 { return append([]float64(nil), s.x[:s.numVars]
 
 // Solve converts the model to standard computational form (adding one
 // slack per inequality row) and runs the simplex solver.
-func (m *Model) Solve(opt simplex.Options) (*Solution, error) {
-	return m.SolveWarm(opt, nil)
+func (m *Model) Solve(ctx context.Context, opt simplex.Options) (*Solution, error) {
+	return m.SolveWarm(ctx, opt, nil)
 }
 
 // SolveWarm is Solve with an optional warm-start basis from a previous
@@ -185,7 +186,7 @@ func (m *Model) Solve(opt simplex.Options) (*Solution, error) {
 // and falls back to a cold start when it does not fit, so SolveWarm
 // never returns a worse answer than Solve — only, usually, a faster
 // one.
-func (m *Model) SolveWarm(opt simplex.Options, warm *Basis) (*Solution, error) {
+func (m *Model) SolveWarm(ctx context.Context, opt simplex.Options, warm *Basis) (*Solution, error) {
 	n := len(m.varNames)
 	mm := len(m.conNames)
 	if n == 0 {
@@ -235,7 +236,7 @@ func (m *Model) SolveWarm(opt simplex.Options, warm *Basis) (*Solution, error) {
 	if warm != nil {
 		opt.WarmStart = m.remapBasis(warm, total)
 	}
-	raw, err := simplex.Solve(prob, opt)
+	raw, err := simplex.Solve(ctx, prob, opt)
 	if err != nil {
 		return nil, fmt.Errorf("lp: solving %q: %w", m.name, err)
 	}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -19,7 +20,7 @@ func TestModelBasicMin(t *testing.T) {
 	c2 := m.AddConstr("c2", LE, 6)
 	m.AddTerm(c2, x, 1)
 	m.AddTerm(c2, y, 3)
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestModelMaximize(t *testing.T) {
 	m := NewModel("max")
 	x := m.AddVar("x", 0, 5, 3)
 	m.SetMaximize(true)
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestModelGEConstraint(t *testing.T) {
 	c := m.AddConstr("cover", GE, 3)
 	m.AddTerm(c, x, 1)
 	m.AddTerm(c, y, 1)
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestModelEquality(t *testing.T) {
 	c := m.AddConstr("bal", EQ, 7)
 	m.AddTerm(c, x, 1)
 	m.AddTerm(c, y, 1)
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestModelDualsOnMaximize(t *testing.T) {
 	m.SetMaximize(true)
 	c := m.AddConstr("cap", LE, 4)
 	m.AddTerm(c, x, 1)
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestModelAccessors(t *testing.T) {
 }
 
 func TestModelNoVarsError(t *testing.T) {
-	if _, err := NewModel("empty").Solve(simplex.Options{}); err == nil {
+	if _, err := NewModel("empty").Solve(context.Background(), simplex.Options{}); err == nil {
 		t.Fatal("expected error on empty model")
 	}
 }
@@ -148,7 +149,7 @@ free z;
 	if m.NumVars() != 3 || m.NumConstrs() != 3 {
 		t.Fatalf("vars=%d constrs=%d", m.NumVars(), m.NumConstrs())
 	}
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ free z;
 	if err != nil {
 		t.Fatalf("reparse: %v\n%s", err, sb.String())
 	}
-	sol2, err := m2.Solve(simplex.Options{})
+	sol2, err := m2.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestParseLPReversedRelation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestParseLPMaximize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestParseLPSingleVarBoundForms(t *testing.T) {
 	if m.NumConstrs() != 0 {
 		t.Fatalf("single-variable rows should become bounds, got %d constraints", m.NumConstrs())
 	}
-	sol, err := m.Solve(simplex.Options{})
+	sol, err := m.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestModelRandomDualityGap(t *testing.T) {
 				m.AddTerm(c, vars[j], coefs[j])
 			}
 		}
-		sol, err := m.Solve(simplex.Options{})
+		sol, err := m.Solve(context.Background(), simplex.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -721,6 +721,7 @@ func (f *Factorization) solveSparse(b, x []float64, pat []int) {
 		f.mark[j] = false
 		ord2 = append(ord2, j)
 	}
+	//coflowlint:allow stablesort -- int keys form a total order; equal elements are interchangeable
 	sort.Sort(sort.Reverse(sort.IntSlice(ord2)))
 	for _, j := range ord2 {
 		zj := z[j]

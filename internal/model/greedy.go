@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/coflow"
@@ -227,7 +228,22 @@ func (l *LP) GreedyBasis() *lp.Basis {
 			b.Cons[nm] = simplex.VarBasic
 		}
 	}
-	for es, f := range claims {
+	// Claimed rows in sorted (edge, slot) order: the basis maps are
+	// name-keyed so the order cannot change the result, but iterating a
+	// map here would trip the detrange determinism gate — and sorted
+	// iteration keeps any future side effects reproducible for free.
+	slots := make([]edgeSlot, 0, len(claims))
+	for es := range claims {
+		slots = append(slots, es)
+	}
+	slices.SortStableFunc(slots, func(p, q edgeSlot) int {
+		if p.e != q.e {
+			return p.e - q.e
+		}
+		return p.t - q.t
+	})
+	for _, es := range slots {
+		f := claims[es]
 		b.Cons[fmt.Sprintf("cap_e%d_t%d", es.e, es.t)] = simplex.VarLower
 		b.Vars[name(l.x[f][es.t])] = simplex.VarBasic
 	}

@@ -25,6 +25,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -319,15 +320,15 @@ func (e *StatusError) Error() string {
 }
 
 // Solve optimizes the relaxation and extracts the fractional schedule.
-func (l *LP) Solve(opt simplex.Options) (*Solution, error) {
-	return l.SolveWarm(opt, nil)
+func (l *LP) Solve(ctx context.Context, opt simplex.Options) (*Solution, error) {
+	return l.SolveWarm(ctx, opt, nil)
 }
 
 // SolveWarm is Solve with an optional warm-start basis carried over
 // from a previous relaxation (a perturbed instance, a regridded
 // horizon, or the prior epoch's residual). Invalid bases fall back to
 // a cold solve inside the solver.
-func (l *LP) SolveWarm(opt simplex.Options, warm *lp.Basis) (*Solution, error) {
+func (l *LP) SolveWarm(ctx context.Context, opt simplex.Options, warm *lp.Basis) (*Solution, error) {
 	// With no caller basis, large single path relaxations warm-start
 	// from the greedy crash basis (see GreedyBasis): a feasible vertex
 	// that skips phase 1 entirely. The solver validates it like any
@@ -335,7 +336,7 @@ func (l *LP) SolveWarm(opt simplex.Options, warm *lp.Basis) (*Solution, error) {
 	if warm == nil && l.Model.NumConstrs() >= greedyWarmMinRows {
 		warm = l.GreedyBasis()
 	}
-	raw, err := l.Model.SolveWarm(opt, warm)
+	raw, err := l.Model.SolveWarm(ctx, opt, warm)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -67,7 +68,7 @@ func TestSinglePathTinyExactLP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestSinglePathReleaseTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestSinglePathGeometricGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestSinglePathFigure2Bounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFreePathFigure2Bounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestFreePathFigure2Bounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := ls.Solve(simplex.Options{})
+	ss, err := ls.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFreePathConservationInExtraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestFreePathBeatsSinglePathOnFigure1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ssp, err := lsp.Solve(simplex.Options{})
+	ssp, err := lsp.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestFreePathBeatsSinglePathOnFigure1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sfp, err := lfp.Solve(simplex.Options{})
+	sfp, err := lfp.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestWeightsScaleObjective(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

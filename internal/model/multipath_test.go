@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestMultiPathFigure2AllPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestMultiPathFigure2AllPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sf, err := lf.Solve(simplex.Options{})
+	sf, err := lf.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestMultiPathInterpolatesBetweenModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := ls.Solve(simplex.Options{})
+	ss, err := ls.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestMultiPathInterpolatesBetweenModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sm, err := lm.Solve(simplex.Options{})
+	sm, err := lm.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestMultiPathInterpolatesBetweenModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sf, err := lf.Solve(simplex.Options{})
+	sf, err := lf.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestMultiPathOnePathMatchesSinglePath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := ls.Solve(simplex.Options{})
+	ss, err := ls.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestMultiPathOnePathMatchesSinglePath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sm, err := lm.Solve(simplex.Options{})
+	sm, err := lm.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestMultiPathPathFracConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,6 +87,34 @@ type Timing struct {
 	nanos atomic.Int64
 }
 
+// Stopwatch measures one interval for a Timing. It exists so that
+// instrumented packages never touch the wall clock themselves — the
+// determinism contract (machine-enforced by coflowlint's walltime
+// analyzer) confines time.Now to this package, keeping wall-clock
+// readings out of every report and schedule.
+type Stopwatch struct {
+	t  *Timing
+	t0 time.Time
+}
+
+// Start begins a stopwatch for the timing. On a nil receiver the
+// clock is not read at all and the returned stopwatch is inert, so
+// un-instrumented runs pay one pointer test and nothing else.
+func (t *Timing) Start() Stopwatch {
+	if t == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, t0: time.Now()}
+}
+
+// Stop records the elapsed interval. No-op for an inert stopwatch.
+func (s Stopwatch) Stop() {
+	if s.t == nil {
+		return
+	}
+	s.t.Observe(time.Since(s.t0))
+}
+
 // Observe records one duration. No-op on a nil receiver.
 func (t *Timing) Observe(d time.Duration) {
 	if t == nil {

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -21,7 +22,7 @@ func multiPathLP(t *testing.T, slots, k int) *model.Solution {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

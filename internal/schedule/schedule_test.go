@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,7 +28,7 @@ func lineLP(t *testing.T, demand, release float64, slots int) *model.Solution {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func figure2LP(t *testing.T, mode coflow.Model, slots int) *model.Solution {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := l.Solve(simplex.Options{})
+		sol, err := l.Solve(context.Background(), simplex.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func figure2LP(t *testing.T, mode coflow.Model, slots int) *model.Solution {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := l.Solve(simplex.Options{})
+	sol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestStretchParameterValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gsol, err := l.Solve(simplex.Options{})
+	gsol, err := l.Solve(context.Background(), simplex.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestVerifyCatchesViolations(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := l.Solve(simplex.Options{})
+		sol, err := l.Solve(context.Background(), simplex.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -298,7 +298,7 @@ func (p *lasPolicy) Allocate(_ context.Context, st *State, out *Alloc) error {
 	}
 	if len(p.moved) > 0 {
 		p.splice.Observe(float64(len(p.moved)))
-		slices.SortFunc(p.moved, func(a, b int) int {
+		slices.SortStableFunc(p.moved, func(a, b int) int {
 			switch {
 			case st.Attained[a] < st.Attained[b]:
 				return -1

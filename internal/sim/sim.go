@@ -51,7 +51,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"repro/internal/coflow"
 	"repro/internal/graph"
@@ -313,8 +312,9 @@ func Simulate(ctx context.Context, inst *coflow.Instance, opt Options) (*Result,
 // simMetrics holds the telemetry handles the event loop records
 // through, resolved once per run so the hot loop never takes the
 // registry lock. With no registry every handle is nil — each record
-// site then costs one pointer test — and the time.Now calls around
-// the allocation checks are skipped entirely.
+// site then costs one pointer test — and the stopwatches around the
+// allocation checks never read the clock (obs.Timing.Start on a nil
+// handle is inert).
 type simMetrics struct {
 	arrivals    *obs.Counter
 	completions *obs.Counter
@@ -480,25 +480,16 @@ func (r *runner) run(ctx context.Context) (*Result, error) {
 			if err := r.pol.Allocate(ctx, st, &r.alloc); err != nil {
 				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, r.now, err)
 			}
-			var t0 time.Time
-			if r.met.checkInc != nil {
-				t0 = time.Now()
-			}
+			sw := r.met.checkInc.Start()
 			err := r.checkAlloc()
-			if r.met.checkInc != nil {
-				r.met.checkInc.Observe(time.Since(t0))
-			}
+			sw.Stop()
 			if err != nil {
 				return nil, fmt.Errorf("sim: policy %s at t=%g: %w", opt.Policy, r.now, err)
 			}
 			if opt.CheckEvery > 0 && res.Events%opt.CheckEvery == 0 {
-				if r.met.checkFull != nil {
-					t0 = time.Now()
-				}
+				sw := r.met.checkFull.Start()
 				err := r.checkFull()
-				if r.met.checkFull != nil {
-					r.met.checkFull.Observe(time.Since(t0))
-				}
+				sw.Stop()
 				if err != nil {
 					return nil, fmt.Errorf("sim: full check at t=%g (event %d): %w", r.now, res.Events, err)
 				}

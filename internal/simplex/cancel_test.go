@@ -1,0 +1,43 @@
+package simplex
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// A cancelled context must surface context.Canceled before any pivots
+// run, and an uncancelled context must not change the result.
+func TestSolveCancelled(t *testing.T) {
+	p := buildProblem(
+		[][]float64{{1, 1, 1, 0}, {1, 3, 0, 1}},
+		[]float64{4, 6},
+		[]float64{-1, -2, 0, 0},
+		[]float64{0, 0, 0, 0},
+		[]float64{inf(), inf(), inf(), inf()},
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, p, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled solve: err = %v, want context.Canceled", err)
+	}
+
+	want, err := Solve(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Solve(context.TODO(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Obj != want.Obj || got.Iterations != want.Iterations {
+		t.Fatalf("ctx-carrying solve diverged: obj %g/%g iters %d/%d",
+			got.Obj, want.Obj, got.Iterations, want.Iterations)
+	}
+
+	// A nil context is tolerated (treated as Background) so callers
+	// without a context cannot crash the solver.
+	if _, err := Solve(nil, p, Options{}); err != nil { //lint:ignore SA1012 nil-tolerance is part of the contract
+		t.Fatalf("nil-context solve: %v", err)
+	}
+}

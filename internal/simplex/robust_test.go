@@ -1,6 +1,7 @@
 package simplex
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -114,7 +115,7 @@ func TestDegenerateLPsNeverSingular(t *testing.T) {
 	for iter := 0; iter < 400; iter++ {
 		r := rand.New(rand.NewSource(rng.Int63()))
 		p := degenerateLP(r)
-		sol, err := Solve(p, Options{MaxIter: 5000})
+		sol, err := Solve(context.Background(), p, Options{MaxIter: 5000})
 		if err != nil {
 			if errors.Is(err, lu.ErrSingular) {
 				t.Fatalf("iter %d: Solve surfaced a singular basis: %v", iter, err)

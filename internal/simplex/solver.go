@@ -18,6 +18,7 @@
 package simplex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -182,6 +183,7 @@ type Basis struct {
 type solver struct {
 	prob Problem
 	opt  Options
+	ctx  context.Context // cancellation, polled between pivots
 
 	m, n  int // rows, structural columns
 	total int // n + m (artificials appended)
@@ -291,9 +293,10 @@ type solver struct {
 // tuning knob: repairs normally succeed on the first attempt and
 // perturbations resolve a stall within one or two escalations.
 const (
-	maxRepairAttempts = 4 // deficiency-swap rounds per refactorization
-	maxRestarts       = 3 // two-phase restarts after infeasible repairs
-	maxPerturb        = 6 // cost perturbations per solveOnce
+	maxRepairAttempts = 4  // deficiency-swap rounds per refactorization
+	maxRestarts       = 3  // two-phase restarts after infeasible repairs
+	maxPerturb        = 6  // cost perturbations per solveOnce
+	cancelCheckEvery  = 64 // pivots between context-cancellation polls
 )
 
 // crashMinRows gates the slack-crash start: at or above this row count
@@ -321,19 +324,29 @@ var errRestartPhases = errors.New("simplex: restart phases after basis repair")
 // when repair itself fails is the whole solve retried once with a
 // stricter pivot threshold and more frequent refactorization, before
 // the error is surfaced.
-func Solve(p *Problem, opt Options) (*Solution, error) {
-	sol, err := solveOnce(p, opt, 1e-9, false)
+// Solve honors ctx: cancellation is polled between pivots (every
+// cancelCheckEvery iterations), so long solves return ctx.Err()
+// promptly instead of running to the iteration limit. The pivot
+// sequence of an uncancelled solve is identical for any ctx.
+func Solve(ctx context.Context, p *Problem, opt Options) (*Solution, error) {
+	sol, err := solveOnce(ctx, p, opt, 1e-9, false)
 	if err != nil && errors.Is(err, lu.ErrSingular) {
 		strict := opt
 		if strict.RefactorEvery == 0 || strict.RefactorEvery > 40 {
 			strict.RefactorEvery = 40
 		}
-		return solveOnce(p, strict, 1e-6, true)
+		return solveOnce(ctx, p, strict, 1e-6, true)
 	}
 	return sol, err
 }
 
-func solveOnce(p *Problem, opt Options, minPiv float64, retry bool) (*Solution, error) {
+func solveOnce(ctx context.Context, p *Problem, opt Options, minPiv float64, retry bool) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -341,6 +354,7 @@ func solveOnce(p *Problem, opt Options, minPiv float64, retry bool) (*Solution, 
 	s := &solver{
 		prob:    *p,
 		opt:     opt.withDefaults(m, n),
+		ctx:     ctx,
 		m:       m,
 		n:       n,
 		total:   n + m,
@@ -1392,6 +1406,15 @@ func (s *solver) iterate(phase int) (Status, error) {
 		if s.iters >= s.opt.MaxIter {
 			s.unperturb(false)
 			return IterLimit, nil
+		}
+		// Poll cancellation between pivots. The stride keeps the check
+		// off the hot path; an uncancelled context never changes the
+		// pivot sequence.
+		if s.iters%cancelCheckEvery == 0 {
+			if err := s.ctx.Err(); err != nil {
+				s.unperturb(false)
+				return 0, err
+			}
 		}
 		j, dir := s.price()
 		if j < 0 {

@@ -1,6 +1,7 @@
 package simplex
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func TestSimpleEquality(t *testing.T) {
 		[]float64{0, 0, 0, 0},
 		[]float64{inf(), inf(), inf(), inf()},
 	)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestUpperBoundsRespected(t *testing.T) {
 		[]float64{0, 0, 0},
 		[]float64{3, 4, inf()},
 	)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestFreeVariable(t *testing.T) {
 		[]float64{math.Inf(-1), 0},
 		[]float64{inf(), 2},
 	)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestNegativeBounds(t *testing.T) {
 		[]float64{-5, math.Inf(-1)},
 		[]float64{-1, inf()},
 	)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFixedVariable(t *testing.T) {
 		[]float64{2, 0},
 		[]float64{2, inf()},
 	)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestInfeasibleDetected(t *testing.T) {
 		[]float64{0, 0},
 		[]float64{1, 1},
 	)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestUnboundedDetected(t *testing.T) {
 		[]float64{0, 0},
 		[]float64{inf(), inf()},
 	)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,14 +161,14 @@ func TestUnboundedDetected(t *testing.T) {
 
 func TestValidateErrors(t *testing.T) {
 	p := buildProblem([][]float64{{1}}, []float64{1}, []float64{1}, []float64{2}, []float64{1})
-	if _, err := Solve(p, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, Options{}); err == nil {
 		t.Fatal("expected error for L > U")
 	}
-	if _, err := Solve(&Problem{}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), &Problem{}, Options{}); err == nil {
 		t.Fatal("expected error for nil matrix")
 	}
 	bad := buildProblem([][]float64{{1}}, []float64{1, 2}, []float64{1}, []float64{0}, []float64{1})
-	if _, err := Solve(bad, Options{}); err == nil {
+	if _, err := Solve(context.Background(), bad, Options{}); err == nil {
 		t.Fatal("expected error for rhs length mismatch")
 	}
 }
@@ -262,7 +263,7 @@ func TestRandomLPsSatisfyKKT(t *testing.T) {
 		m := 1 + r.Intn(12)
 		n := m + r.Intn(15)
 		p := randomFeasibleLP(r, m, n)
-		sol, err := Solve(p, Options{})
+		sol, err := Solve(context.Background(), p, Options{})
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -342,7 +343,7 @@ func TestAssignmentLPIntegralOptimum(t *testing.T) {
 			b[i] = 1
 		}
 		p := &Problem{A: bld.Build(), B: b, C: c, L: l, U: u}
-		sol, err := Solve(p, Options{})
+		sol, err := Solve(context.Background(), p, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -379,7 +380,7 @@ func TestTransportationProblem(t *testing.T) {
 	}
 	b := append(append([]float64{}, supply...), demand...)
 	p := &Problem{A: bld.Build(), B: b, C: c, L: l, U: u}
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +393,7 @@ func TestTransportationProblem(t *testing.T) {
 func TestIterLimitReported(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	p := randomFeasibleLP(rng, 10, 25)
-	sol, err := Solve(p, Options{MaxIter: 1})
+	sol, err := Solve(context.Background(), p, Options{MaxIter: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +435,7 @@ func TestLargerStructuredLP(t *testing.T) {
 		b[K+tt] = 2.0 // capacity
 	}
 	p := &Problem{A: bld.Build(), B: b, C: c, L: l, U: u}
-	sol, err := Solve(p, Options{RefactorEvery: 30})
+	sol, err := Solve(context.Background(), p, Options{RefactorEvery: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +455,7 @@ func TestEqualityOnlyNoSlackPhase1(t *testing.T) {
 		[]float64{0, 0},
 		[]float64{inf(), inf()},
 	)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,7 +484,7 @@ func BenchmarkSolveStructured(b *testing.B) {
 	p := randomFeasibleLP(rng, 150, 450)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, err := Solve(p, Options{})
+		sol, err := Solve(context.Background(), p, Options{})
 		if err != nil || sol.Status != Optimal {
 			b.Fatalf("err=%v status=%v", err, sol.Status)
 		}

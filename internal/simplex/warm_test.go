@@ -1,6 +1,7 @@
 package simplex
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func TestWarmStartSameProblem(t *testing.T) {
 		m := 1 + r.Intn(12)
 		n := m + r.Intn(15)
 		p := randomFeasibleLP(r, m, n)
-		cold, err := Solve(p, Options{})
+		cold, err := Solve(context.Background(), p, Options{})
 		if err != nil || cold.Status != Optimal {
 			t.Logf("seed %d: cold solve %v err=%v", seed, cold.Status, err)
 			return false
@@ -34,7 +35,7 @@ func TestWarmStartSameProblem(t *testing.T) {
 			// warm-start from, which is a legal outcome.
 			return true
 		}
-		warm, err := Solve(p, Options{WarmStart: cold.Basis})
+		warm, err := Solve(context.Background(), p, Options{WarmStart: cold.Basis})
 		if err != nil || warm.Status != Optimal {
 			t.Logf("seed %d: warm solve %v err=%v", seed, warm.Status, err)
 			return false
@@ -70,7 +71,7 @@ func TestWarmStartPerturbed(t *testing.T) {
 		m := 2 + r.Intn(10)
 		n := m + 2 + r.Intn(12)
 		p := randomFeasibleLP(r, m, n)
-		base, err := Solve(p, Options{})
+		base, err := Solve(context.Background(), p, Options{})
 		if err != nil || base.Status != Optimal || base.Basis == nil {
 			return true // nothing to carry over; covered elsewhere
 		}
@@ -86,8 +87,8 @@ func TestWarmStartPerturbed(t *testing.T) {
 		for i := range pp.B {
 			pp.B[i] += r.NormFloat64() * 0.01
 		}
-		cold, errC := Solve(pp, Options{})
-		warm, errW := Solve(pp, Options{WarmStart: base.Basis})
+		cold, errC := Solve(context.Background(), pp, Options{})
+		warm, errW := Solve(context.Background(), pp, Options{WarmStart: base.Basis})
 		if errC != nil || errW != nil {
 			t.Logf("seed %d: cold err %v, warm err %v", seed, errC, errW)
 			return false
@@ -117,7 +118,7 @@ func TestWarmStartPerturbed(t *testing.T) {
 func TestWarmStartInvalidFallsBack(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	p := randomFeasibleLP(r, 8, 14)
-	cold, err := Solve(p, Options{})
+	cold, err := Solve(context.Background(), p, Options{})
 	if err != nil || cold.Status != Optimal {
 		t.Fatalf("cold solve: %v err=%v", cold.Status, err)
 	}
@@ -144,7 +145,7 @@ func TestWarmStartInvalidFallsBack(t *testing.T) {
 	}
 	bad = append(bad, wrong)
 	for i, wb := range bad {
-		sol, err := Solve(p, Options{WarmStart: wb})
+		sol, err := Solve(context.Background(), p, Options{WarmStart: wb})
 		if err != nil {
 			t.Fatalf("bad basis %d: error %v", i, err)
 		}
@@ -169,14 +170,14 @@ func TestWarmStartInvalidFallsBack(t *testing.T) {
 func TestWarmStartSkipsPhase1(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	p := randomFeasibleLP(r, 30, 60)
-	cold, err := Solve(p, Options{})
+	cold, err := Solve(context.Background(), p, Options{})
 	if err != nil || cold.Status != Optimal {
 		t.Fatalf("cold solve: %v err=%v", cold.Status, err)
 	}
 	if cold.Basis == nil {
 		t.Skip("cold optimum kept an artificial basic; no exportable basis")
 	}
-	warm, err := Solve(p, Options{WarmStart: cold.Basis})
+	warm, err := Solve(context.Background(), p, Options{WarmStart: cold.Basis})
 	if err != nil || warm.Status != Optimal {
 		t.Fatalf("warm solve: %v err=%v", warm.Status, err)
 	}

@@ -45,8 +45,10 @@ package topo
 
 import (
 	"fmt"
+	"maps"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -79,8 +81,8 @@ type family struct {
 // Common parameter defaults shared by every family.
 func common(extra map[string]float64) map[string]float64 {
 	d := map[string]float64{"cap": 1, "seed": 1, "hetero": 0}
-	for k, v := range extra {
-		d[k] = v
+	for _, k := range slices.Sorted(maps.Keys(extra)) {
+		d[k] = extra[k]
 	}
 	return d
 }
@@ -176,8 +178,8 @@ func ParseSpec(spec string) (string, map[string]float64, error) {
 		return "", nil, fmt.Errorf("topo: unknown family %q (have %v)", name, Families())
 	}
 	p := make(map[string]float64, len(fam.defaults))
-	for k, v := range fam.defaults {
-		p[k] = v
+	for _, k := range slices.Sorted(maps.Keys(fam.defaults)) {
+		p[k] = fam.defaults[k]
 	}
 	if strings.TrimSpace(rest) == "" {
 		return name, p, nil
